@@ -1,0 +1,62 @@
+package manticore
+
+// CML-style synchronous channels (§2.1: "language-level visible threads and
+// synchronous message passing, providing a parallel implementation of
+// Concurrent ML's concurrency primitives").
+//
+// Channels are where object proxies earn their keep (§3.1 footnote 1): a
+// send enqueues a *proxy* for the message rather than promoting the message
+// up front. If the matching receive happens on the same vproc, the message
+// never leaves the local heap; only a cross-vproc rendezvous forces the
+// promotion. This is the lazy-promotion discipline applied to explicit
+// concurrency.
+
+// Channel is a synchronous rendezvous channel carrying heap objects.
+type Channel struct {
+	rt *Runtime
+	// pending holds proxies for messages whose send has completed but
+	// whose receive has not yet happened. (A buffered mailbox
+	// approximates CML's acceptor queue; rendezvous cost is charged on
+	// both sides.)
+	pending []Addr
+}
+
+// NewChannel creates a channel.
+func (rt *Runtime) NewChannel() *Channel {
+	return &Channel{rt: rt}
+}
+
+// Send publishes the object held in the sender's root slot. The message is
+// wrapped in a proxy: no promotion happens yet.
+func (ch *Channel) Send(w *Worker, slot int) {
+	proxy := w.NewProxy(slot)
+	ch.pending = append(ch.pending, proxy)
+}
+
+// TryRecv receives a message if one is pending, resolving the proxy: if the
+// message was sent by this vproc it stays local; otherwise it is promoted
+// out of the sender's heap on demand. Returns (0, false) when empty.
+func (ch *Channel) TryRecv(w *Worker) (Addr, bool) {
+	if len(ch.pending) == 0 {
+		return 0, false
+	}
+	proxy := ch.pending[0]
+	ch.pending = ch.pending[1:]
+	return w.ProxyDeref(proxy), true
+}
+
+// Recv blocks (in virtual time) until a message arrives. The receiving
+// vproc services its scheduler obligations (steals, pending global
+// collections) while waiting, so channel waits cannot deadlock the
+// stop-the-world protocol.
+func (ch *Channel) Recv(w *Worker) Addr {
+	for {
+		if a, ok := ch.TryRecv(w); ok {
+			return a
+		}
+		w.ServiceScheduler()
+	}
+}
+
+// Len reports the number of pending messages.
+func (ch *Channel) Len() int { return len(ch.pending) }

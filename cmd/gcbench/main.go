@@ -1,0 +1,92 @@
+// Command gcbench regenerates the paper's evaluation figures: speedup
+// sweeps of the five benchmarks over thread counts, machines, and page
+// placement policies.
+//
+// Usage:
+//
+//	gcbench -figure 5                 # regenerate Figure 5 (AMD, local)
+//	gcbench -figure 4 -scale 0.5      # Figure 4 at half workload scale
+//	gcbench -machine amd48 -policy interleaved -threads 1,8,48 -bench dmm
+//	gcbench -all                      # Figures 4-7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/mempage"
+	"repro/internal/numa"
+)
+
+func main() {
+	var (
+		figure  = flag.Int("figure", 0, "paper figure to regenerate (4-7)")
+		all     = flag.Bool("all", false, "regenerate all figures (4-7)")
+		scale   = flag.Float64("scale", 1.0, "workload scale (1.0 = default reduced sizes)")
+		machine = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32)")
+		policy  = flag.String("policy", "local", "page placement policy (local, interleaved, single-node)")
+		threads = flag.String("threads", "", "comma-separated thread counts for custom sweeps")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: the five paper benchmarks)")
+		verbose = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	opt := bench.Options{Scale: *scale}
+	if *verbose {
+		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	switch {
+	case *all:
+		for id := 4; id <= 7; id++ {
+			f, err := bench.RunFigure(id, opt)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(f.Render())
+		}
+	case *figure != 0:
+		f, err := bench.RunFigure(*figure, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f.Render())
+	default:
+		topo, err := numa.Preset(*machine)
+		if err != nil {
+			fatal(err)
+		}
+		pol, err := mempage.ParsePolicy(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		ts := bench.AMDThreads
+		if topo.Name == "intel32" {
+			ts = bench.IntelThreads
+		}
+		if *threads != "" {
+			ts = nil
+			for _, s := range strings.Split(*threads, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					fatal(fmt.Errorf("bad thread count %q: %w", s, err))
+				}
+				ts = append(ts, n)
+			}
+		}
+		f := bench.Sweep(topo, pol, ts, opt)
+		fmt.Println(f.Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcbench:", err)
+	os.Exit(1)
+}

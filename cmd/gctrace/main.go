@@ -1,0 +1,104 @@
+// Command gctrace runs one benchmark and reports the garbage collector's
+// behaviour: per-phase event counts, copied volumes, pause profile, and the
+// runtime statistics behind them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mempage"
+	"repro/internal/numa"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "synthetic", "benchmark to run")
+		machine   = flag.String("machine", "amd48", "machine preset")
+		policy    = flag.String("policy", "local", "page placement policy")
+		vprocs    = flag.Int("p", 8, "number of vprocs")
+		scale     = flag.Float64("scale", 1.0, "workload scale")
+		events    = flag.Bool("events", false, "print every GC event")
+	)
+	flag.Parse()
+
+	topo, err := numa.Preset(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := mempage.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := workload.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.DefaultConfig(topo, *vprocs)
+	cfg.Policy = pol
+	rt := core.MustNewRuntime(cfg)
+
+	var counts [5]int
+	var words [5]int64
+	var ns [5]int64
+	rt.SetTracer(func(ev core.GCEvent) {
+		counts[ev.Kind]++
+		words[ev.Kind] += ev.Words
+		ns[ev.Kind] += ev.Ns
+		if *events {
+			fmt.Printf("[%10d ns] vproc %-2d %-12s %8d words %8d ns\n",
+				0, ev.VProc, ev.Kind, ev.Words, ev.Ns)
+		}
+	})
+
+	res := spec.Run(rt, *scale)
+	s := res.Stats
+
+	fmt.Printf("benchmark %s on %s, policy %s, %d vprocs, scale %.2f\n",
+		spec.Name, topo.Name, pol, *vprocs, *scale)
+	fmt.Printf("elapsed (virtual): %.3f ms   checksum: %#x\n\n", float64(res.ElapsedNs)/1e6, res.Check)
+
+	fmt.Println("collection phases:")
+	for _, k := range []core.EventKind{core.EvMinor, core.EvMajor, core.EvPromote, core.EvGlobalEnd} {
+		label := k.String()
+		if k == core.EvGlobalEnd {
+			label = "global"
+		}
+		c := counts[k]
+		if c == 0 {
+			fmt.Printf("  %-10s %6d\n", label, 0)
+			continue
+		}
+		fmt.Printf("  %-10s %6d   %10d words   avg %8.1f us\n",
+			label, c, words[k], float64(ns[k])/float64(c)/1000)
+	}
+
+	fmt.Println("\nruntime totals:")
+	fmt.Printf("  tasks run          %10d\n", s.TasksRun)
+	fmt.Printf("  steals             %10d (failed probes %d)\n", s.Steals, s.FailedSteals)
+	fmt.Printf("  allocated          %10d words\n", s.AllocWords)
+	fmt.Printf("  minor copied       %10d words\n", s.MinorCopied)
+	fmt.Printf("  major copied       %10d words\n", s.MajorCopied)
+	fmt.Printf("  promoted           %10d words in %d promotions\n", s.PromotedWords, s.Promotions)
+	fmt.Printf("  global collections %10d (%d words copied)\n", rt.Stats.GlobalGCs, rt.Stats.GlobalCopied)
+	fmt.Printf("  chunks created     %10d, reused %d, cross-node scans %d\n",
+		rt.Chunks.Created, rt.Chunks.Reused, rt.Stats.CrossNodeScanned)
+	fmt.Printf("  local GC time      %10.3f ms, global GC time %.3f ms\n",
+		float64(s.GCNs)/1e6, float64(rt.Stats.GlobalNs)/1e6)
+
+	traffic := rt.Machine.Stats()
+	fmt.Println("\nmodelled traffic:")
+	fmt.Printf("  local        %10.2f MB\n", float64(traffic.BytesByPath[numa.PathLocal])/1e6)
+	fmt.Printf("  same-package %10.2f MB\n", float64(traffic.BytesByPath[numa.PathSamePackage])/1e6)
+	fmt.Printf("  remote       %10.2f MB\n", float64(traffic.BytesByPath[numa.PathRemote])/1e6)
+	fmt.Printf("  cache        %10.2f MB\n", float64(traffic.CacheBytes)/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gctrace:", err)
+	os.Exit(1)
+}

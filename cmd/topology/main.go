@@ -1,0 +1,59 @@
+// Command topology prints the modelled NUMA machines: the node/core layout
+// (Figures 8 and 9 of the paper) and the theoretical bandwidth table
+// (Table 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/numa"
+)
+
+func main() {
+	machine := flag.String("machine", "amd48", "machine preset (amd48, intel32)")
+	ascii := flag.Bool("ascii", true, "render the interconnect diagram")
+	flag.Parse()
+
+	topo, err := numa.Preset(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topology:", err)
+		os.Exit(1)
+	}
+	m := numa.NewMachine(topo)
+
+	fmt.Printf("Machine %s: %d packages x %d nodes x %d cores = %d cores @ %.3f GHz\n",
+		topo.Name, topo.Packages, topo.NodesPerPackage, topo.CoresPerNode, topo.NumCores(), topo.GHz)
+	fmt.Printf("L3 per node: %d MB (usable)\n\n", topo.L3Bytes>>20)
+	fmt.Println(m.BandwidthTable())
+
+	if *ascii {
+		fmt.Println(renderDiagram(topo))
+	}
+}
+
+// renderDiagram draws the package/node/core layout with link bandwidths,
+// the textual analogue of the paper's Figures 8 (AMD) and 9 (Intel).
+func renderDiagram(t *numa.Topology) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Interconnect (one %s package):\n\n", t.Name)
+	if t.NodesPerPackage > 1 {
+		fmt.Fprintf(&b, "  RAM ==%4.1f GB/s== [node 2k  : %d cores] ==%4.1f GB/s== [node 2k+1: %d cores] ==%4.1f GB/s== RAM\n",
+			t.LocalBW, t.CoresPerNode, t.SamePkgBW, t.CoresPerNode, t.LocalBW)
+		fmt.Fprintf(&b, "                       |                               |\n")
+		fmt.Fprintf(&b, "                 %4.1f GB/s links                 %4.1f GB/s links\n", t.RemoteBW, t.RemoteBW)
+		fmt.Fprintf(&b, "                  to other packages              to other packages\n")
+	} else {
+		fmt.Fprintf(&b, "  RAM ==%4.1f GB/s== [node k: %d cores]\n", t.LocalBW, t.CoresPerNode)
+		fmt.Fprintf(&b, "                       |\n")
+		fmt.Fprintf(&b, "                 %4.1f GB/s QPI links, fully connected to the other %d packages\n",
+			t.RemoteBW, t.Packages-1)
+	}
+	b.WriteString("\nNode map:\n")
+	for _, n := range t.Nodes() {
+		fmt.Fprintf(&b, "  node %d (package %d): cores %v\n", n.ID, n.Package, n.Cores)
+	}
+	return b.String()
+}

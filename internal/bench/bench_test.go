@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mempage"
+	"repro/internal/numa"
+)
+
+// Small-scale sweeps keep these tests fast; shapes are asserted loosely.
+const testScale = 0.2
+
+func TestSweepSpeedupBaseline(t *testing.T) {
+	f := Sweep(numa.AMD48(), mempage.PolicyLocal, []int{1, 8},
+		Options{Scale: testScale, Benchmarks: []string{"raytracer"}})
+	sp1, ok := f.SpeedupAt("raytracer", 1)
+	if !ok || sp1 != 1.0 {
+		t.Fatalf("1-thread speedup = %v, want 1.0", sp1)
+	}
+	sp8, _ := f.SpeedupAt("raytracer", 8)
+	if sp8 < 3 {
+		t.Errorf("raytracer at 8 threads: speedup %.2f, want > 3", sp8)
+	}
+}
+
+func TestFigureIDsAndTitles(t *testing.T) {
+	for id := 4; id <= 7; id++ {
+		f, err := RunFigure(id, Options{Scale: 0.05, Benchmarks: []string{"synthetic"}})
+		if err != nil {
+			t.Fatalf("figure %d: %v", id, err)
+		}
+		if f.ID != id {
+			t.Errorf("figure %d reported ID %d", id, f.ID)
+		}
+		out := f.Render()
+		if !strings.Contains(out, "Figure") || !strings.Contains(out, "synthetic") {
+			t.Errorf("figure %d render missing content:\n%s", id, out)
+		}
+	}
+	if _, err := RunFigure(3, Options{}); err == nil {
+		t.Error("RunFigure(3) should fail")
+	}
+}
+
+func TestExternalBaselineNormalization(t *testing.T) {
+	// Figures 6/7 normalize to an external baseline; a baseline of half
+	// the measured 1-thread time must halve the reported speedups.
+	opt := Options{Scale: testScale, Benchmarks: []string{"synthetic"}}
+	ref := Sweep(numa.AMD48(), mempage.PolicyLocal, []int{1}, opt)
+	base := ref.Baseline["synthetic"]
+
+	opt.BaselineNs = map[string]int64{"synthetic": base / 2}
+	f := Sweep(numa.AMD48(), mempage.PolicyLocal, []int{1}, opt)
+	sp, _ := f.SpeedupAt("synthetic", 1)
+	if sp < 0.49 || sp > 0.51 {
+		t.Errorf("normalized speedup = %.3f, want ~0.5", sp)
+	}
+}
+
+func TestPolicyOrderingAtScale(t *testing.T) {
+	// The paper's headline (§4.3): at high thread counts, local placement
+	// beats single-node placement for allocation-heavy work.
+	opt := Options{Scale: 0.3, Benchmarks: []string{"synthetic"}}
+	local := Sweep(numa.AMD48(), mempage.PolicyLocal, []int{24}, opt)
+	single := Sweep(numa.AMD48(), mempage.PolicySingleNode, []int{24}, opt)
+	lms := local.Series[0].ElapsedNs[0]
+	sms := single.Series[0].ElapsedNs[0]
+	if !(lms < sms) {
+		t.Errorf("at 24 threads: local %d ns should beat single-node %d ns", lms, sms)
+	}
+}
+
+func TestDeterministicSweep(t *testing.T) {
+	opt := Options{Scale: testScale, Benchmarks: []string{"quicksort"}}
+	a := Sweep(numa.AMD48(), mempage.PolicyLocal, []int{4}, opt)
+	b := Sweep(numa.AMD48(), mempage.PolicyLocal, []int{4}, opt)
+	if a.Series[0].ElapsedNs[0] != b.Series[0].ElapsedNs[0] {
+		t.Errorf("sweep not deterministic: %d vs %d", a.Series[0].ElapsedNs[0], b.Series[0].ElapsedNs[0])
+	}
+}

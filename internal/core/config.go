@@ -1,0 +1,125 @@
+// Package core implements the Manticore runtime and its NUMA-aware garbage
+// collector: vprocs with private Appel semi-generational local heaps, a
+// chunked global heap with node affinity, minor/major/global collection
+// phases, object promotion, object proxies, and a work-stealing scheduler
+// with lazy promotion. This is the paper's primary contribution (§2-3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mempage"
+	"repro/internal/numa"
+)
+
+// Config configures a Runtime. The zero value is not usable; call
+// DefaultConfig and adjust.
+type Config struct {
+	// Topo is the machine model.
+	Topo *numa.Topology
+	// Policy is the physical page placement policy (§4.3).
+	Policy mempage.Policy
+	// NumVProcs is the number of virtual processors (§2.2). VProcs are
+	// assigned sparsely across nodes when fewer than the core count.
+	NumVProcs int
+
+	// LocalHeapWords is the fixed local heap size (§3.1: "chosen so that
+	// the local heaps will fit into the L3 cache").
+	LocalHeapWords int
+	// ChunkWords is the global-heap chunk size.
+	ChunkWords int
+	// GlobalTriggerWords triggers a global collection when active global
+	// chunkage exceeds it (§3.4: #vprocs x 32MB in the paper; scaled
+	// here). Zero means NumVProcs * 16 * ChunkWords.
+	GlobalTriggerWords int
+	// MinNurseryWords triggers a major collection when the post-minor
+	// nursery would fall below it (§3.3). Zero means LocalHeapWords/8.
+	MinNurseryWords int
+
+	// LazyPromotion promotes task environments only when stolen (the
+	// default, after [Rai10]); disabled, environments are promoted
+	// eagerly at spawn time (ablation).
+	LazyPromotion bool
+	// YoungPartition keeps the just-copied young data out of major
+	// collections to avoid premature promotion (§3.3); disabling it is
+	// an ablation.
+	YoungPartition bool
+	// NodeAffineChunks preserves chunk node affinity on reuse (§3.1);
+	// disabling it is an ablation.
+	NodeAffineChunks bool
+	// NodeLocalScan makes global GC scanning prefer node-local chunk
+	// lists (§3.4); disabling it uses one shared list (ablation).
+	NodeLocalScan bool
+
+	// Debug runs the whole-heap invariant verifier after every
+	// collection phase. Slow; for tests.
+	Debug bool
+
+	// Model cost constants, in virtual nanoseconds.
+	AllocFixedNs      int64 // fixed cost per allocation (bump + init)
+	ComputeGrainNs    int64 // reserved for workload use
+	StealAttemptNs    int64 // probing a victim deque
+	StealHitNs        int64 // CAS to take a task
+	PollNs            int64 // idle poll interval
+	ChunkSyncLocalNs  int64 // node-local chunk free-list pop
+	ChunkSyncGlobalNs int64 // fresh chunk allocation + registration
+	SignalVProcNs     int64 // zeroing one vproc's limit pointer
+	BarrierNs         int64 // stop-the-world rendezvous
+	SpinNs            int64 // heap-busy handshake spin
+
+	// Seed makes randomized workloads deterministic.
+	Seed uint64
+}
+
+// DefaultConfig returns a configuration with the paper's defaults at a
+// simulation-friendly scale. Local heaps default to a size that fits the
+// machine's L3 (scaled down), chunks to 64 KB, and the global trigger to
+// NumVProcs x 16 chunks.
+func DefaultConfig(topo *numa.Topology, nvprocs int) Config {
+	return Config{
+		Topo:               topo,
+		Policy:             mempage.PolicyLocal,
+		NumVProcs:          nvprocs,
+		LocalHeapWords:     64 << 10, // 512 KB
+		ChunkWords:         16 << 10, // 128 KB
+		GlobalTriggerWords: 0,        // derived
+		MinNurseryWords:    0,        // derived
+		LazyPromotion:      true,
+		YoungPartition:     true,
+		NodeAffineChunks:   true,
+		NodeLocalScan:      true,
+		AllocFixedNs:       2,
+		StealAttemptNs:     120,
+		StealHitNs:         250,
+		PollNs:             400,
+		ChunkSyncLocalNs:   150,
+		ChunkSyncGlobalNs:  900,
+		SignalVProcNs:      80,
+		BarrierNs:          600,
+		SpinNs:             60,
+		Seed:               0x9E3779B97F4A7C15,
+	}
+}
+
+// normalize fills derived defaults and validates.
+func (c *Config) normalize() error {
+	if c.Topo == nil {
+		return fmt.Errorf("core: Config.Topo is nil")
+	}
+	if c.NumVProcs <= 0 || c.NumVProcs > c.Topo.NumCores() {
+		return fmt.Errorf("core: NumVProcs %d out of range [1,%d]", c.NumVProcs, c.Topo.NumCores())
+	}
+	if c.LocalHeapWords < 1024 {
+		return fmt.Errorf("core: LocalHeapWords %d too small (min 1024)", c.LocalHeapWords)
+	}
+	if c.ChunkWords < 64 {
+		return fmt.Errorf("core: ChunkWords %d too small (min 64)", c.ChunkWords)
+	}
+	if c.MinNurseryWords == 0 {
+		c.MinNurseryWords = c.LocalHeapWords / 8
+	}
+	if c.GlobalTriggerWords == 0 {
+		c.GlobalTriggerWords = c.NumVProcs * 16 * c.ChunkWords
+	}
+	return nil
+}

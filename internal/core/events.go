@@ -1,0 +1,56 @@
+package core
+
+// EventKind identifies a garbage-collection phase event.
+type EventKind int
+
+const (
+	// EvMinor is a completed minor collection.
+	EvMinor EventKind = iota
+	// EvMajor is a completed major collection.
+	EvMajor
+	// EvPromote is a completed object promotion.
+	EvPromote
+	// EvGlobalStart marks the leader initiating a global collection.
+	EvGlobalStart
+	// EvGlobalEnd marks the completion of a global collection.
+	EvGlobalEnd
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvMinor:
+		return "minor"
+	case EvMajor:
+		return "major"
+	case EvPromote:
+		return "promote"
+	case EvGlobalStart:
+		return "global-start"
+	case EvGlobalEnd:
+		return "global-end"
+	default:
+		return "unknown"
+	}
+}
+
+// GCEvent describes one collection phase, for tracing.
+type GCEvent struct {
+	Kind  EventKind
+	VProc int
+	Ns    int64 // virtual duration of the phase
+	Words int64 // words copied/promoted
+}
+
+// Tracer receives GC events when installed via Runtime.SetTracer.
+type Tracer func(ev GCEvent)
+
+// SetTracer installs a GC event tracer (nil disables tracing).
+func (rt *Runtime) SetTracer(t Tracer) { rt.tracer = t }
+
+// emit delivers an event to the tracer, if any.
+func (rt *Runtime) emit(ev GCEvent) {
+	if rt.tracer != nil {
+		rt.tracer(ev)
+	}
+}

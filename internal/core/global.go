@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/numa"
+	"repro/internal/vtime"
+)
+
+// Global collection (§3.4): a parallel stop-the-world copying collection of
+// the global heap. The triggering vproc becomes the leader, sets the global
+// flag, and signals all other vprocs by zeroing their allocation-limit
+// pointers. Every vproc first performs its minor and major collections, so
+// on entry all live local data is young data whose outgoing global
+// references are the global roots. From-space chunks are gathered per NUMA
+// node; each vproc scans to-space chunks node-locally, preserving affinity,
+// and from-space chunks return to the free pool (node-affine) at the end.
+type globalState struct {
+	pending bool
+	// scanning is true during the parallel scan phase; getChunk consults
+	// it to queue replaced chunks that still hold unscanned data.
+	scanning bool
+	leader   int
+
+	entry    *vtime.Barrier
+	setup    *vtime.Barrier
+	scanDone *vtime.Barrier
+	finish   *vtime.Barrier
+
+	// scanByNode holds to-space chunks with unscanned data, grouped by
+	// the node their pages live on.
+	scanByNode [][]*heap.Chunk
+	fromChunks []*heap.Chunk
+	copied     int64
+	startNs    int64
+}
+
+func (g *globalState) init(rt *Runtime) {
+	n := rt.Cfg.NumVProcs
+	c := rt.Cfg.BarrierNs
+	g.entry = vtime.NewBarrier(n, c)
+	g.setup = vtime.NewBarrier(n, c)
+	g.scanDone = vtime.NewBarrier(n, c)
+	g.finish = vtime.NewBarrier(n, c)
+	g.scanByNode = make([][]*heap.Chunk, rt.Cfg.Topo.NumNodes())
+}
+
+// requestGlobalGC is called by the vproc that observed the trigger (§3.4
+// steps 1-2): set the flag, take leadership, and signal every other vproc
+// by zeroing its allocation-limit pointer.
+func (rt *Runtime) requestGlobalGC(vp *VProc) {
+	g := &rt.global
+	g.pending = true
+	g.leader = vp.ID
+	g.startNs = vp.Now()
+	rt.emit(GCEvent{Kind: EvGlobalStart, VProc: vp.ID})
+	// Zero every vproc's limit pointer, including the requester's own, so
+	// its next safepoint joins the collection even if it stops
+	// allocating.
+	for _, other := range rt.VProcs {
+		other.Local.ZeroLimit()
+		if other != vp {
+			vp.advance(rt.Cfg.SignalVProcNs)
+		}
+	}
+}
+
+// participateGlobal is executed by a vproc that noticed a pending global
+// collection at a safepoint: §3.4 step 3 requires it to first perform its
+// minor and major collections, then join the parallel global phase.
+// minorGC triggers the major automatically while global.pending is set.
+func (vp *VProc) participateGlobal() {
+	vp.minorGC()
+	if vp.rt.global.pending {
+		vp.globalCollect()
+	}
+}
+
+// globalCollect runs the parallel phase of a global collection. All vprocs
+// arrive here with empty nurseries and only young data in their local
+// heaps.
+func (vp *VProc) globalCollect() {
+	rt := vp.rt
+	g := &rt.global
+	start := vp.Now()
+
+	// Phase 1: rendezvous. After this barrier no vproc allocates in the
+	// global heap until scanning starts.
+	g.entry.Arrive(vp.proc)
+
+	// Phase 2: the leader condemns the global heap: all active chunks
+	// become from-space, gathered on a per-node basis.
+	if vp.ID == g.leader {
+		g.fromChunks = rt.Chunks.TakeActive()
+		for _, c := range g.fromChunks {
+			c.FromSpace = true
+		}
+		rt.Stats.ChunksFromSpace += len(g.fromChunks)
+		// Condemning invalidates every vproc's current chunk.
+		for _, o := range rt.VProcs {
+			o.curChunk = nil
+		}
+		g.scanning = true
+		vp.advance(int64(len(g.fromChunks)) * 25) // list gathering
+	}
+	g.setup.Arrive(vp.proc)
+
+	// Phase 3: each vproc scans its roots and local heap, copying
+	// reachable from-space objects into fresh to-space chunks obtained
+	// on its own node, then participates in parallel per-node chunk
+	// scanning until no unscanned chunks remain anywhere.
+	vp.globalScanRoots()
+	if vp.ID == g.leader {
+		for _, pa := range rt.globalRoots {
+			*pa = vp.globalForward(*pa)
+		}
+	}
+	vp.globalScanLoop()
+
+	g.scanDone.Arrive(vp.proc)
+
+	// Phase 4: the leader returns the old from-space chunks to the
+	// free-space chunk pool (node-affine) and clears the flag.
+	if vp.ID == g.leader {
+		if rt.Cfg.Debug {
+			for _, c := range rt.Chunks.Active() {
+				if !c.FromSpace && c.Scan < c.Top {
+					panic(fmt.Sprintf("core: to-space chunk r%d (node %d, owner %d) left unscanned: scan=%d top=%d",
+						c.Region.ID, c.Node, c.Owner, c.Scan, c.Top))
+				}
+			}
+		}
+		for _, c := range g.fromChunks {
+			rt.Chunks.Release(c)
+			vp.advance(20)
+		}
+		g.fromChunks = nil
+		g.pending = false
+		g.scanning = false
+		rt.Stats.GlobalGCs++
+		rt.Stats.GlobalCopied += g.copied
+		rt.Stats.GlobalNs += vp.Now() - g.startNs
+		rt.emit(GCEvent{Kind: EvGlobalEnd, VProc: vp.ID, Ns: vp.Now() - g.startNs, Words: g.copied})
+		g.copied = 0
+		if rt.Cfg.Debug {
+			if err := rt.VerifyHeap(); err != nil {
+				panic(fmt.Sprintf("core: after global GC: %v", err))
+			}
+		}
+	}
+	g.finish.Arrive(vp.proc)
+	vp.Stats.GlobalNs += vp.Now() - start
+}
+
+// globalForward copies a from-space global object into this vproc's
+// to-space chunk and returns the new address. Local addresses and live
+// to-space addresses pass through unchanged.
+func (vp *VProc) globalForward(a heap.Addr) heap.Addr {
+	rt := vp.rt
+	if a == 0 {
+		return a
+	}
+	r := rt.Space.Region(a.RegionID())
+	if r.Kind != heap.RegionChunk {
+		return a // local-heap address: not the global collector's concern
+	}
+	// Find the chunk: region IDs map 1:1 to chunk regions; the chunk
+	// carries the from-space flag.
+	c := rt.chunkOfRegion(r)
+	if !c.FromSpace {
+		return a
+	}
+	h := rt.Space.Header(a)
+	if !heap.IsHeader(h) {
+		t := heap.ForwardTarget(h)
+		if rt.Cfg.Debug {
+			if tc := rt.Chunks.ChunkOf(t.RegionID()); tc != nil && tc.FromSpace {
+				panic(fmt.Sprintf("core: forwarding target %v is itself from-space", t))
+			}
+		}
+		return t
+	}
+	n := heap.HeaderLen(h)
+	dst := rt.globalAllocDst(vp, n)
+	na := dst.Bump(h)
+	copy(rt.Space.Payload(na), r.Words[a.Word():a.Word()+n])
+	rt.Space.SetHeader(a, heap.MakeForward(na))
+	rt.global.copied += int64(n + 1)
+	if rt.Cfg.Debug {
+		heap.ScanObject(rt.Space, rt.Descs, na, func(slot int, p heap.Addr) heap.Addr {
+			if p != 0 {
+				if p.RegionID() < 0 || p.RegionID() >= rt.Space.NumRegions() {
+					panic(fmt.Sprintf("core: global copy of %v has garbage pointer %v in slot %d", a, p, slot))
+				}
+				if pr := rt.Space.Region(p.RegionID()); pr.Kind == heap.RegionLocal {
+					panic(fmt.Sprintf("core: global copy of %v points into vproc %d local heap (slot %d)", a, pr.Owner, slot))
+				}
+			}
+			return p
+		})
+	}
+
+	srcNode := rt.Space.NodeOf(a)
+	dstNode := rt.Space.NodeOf(na)
+	vp.advance(rt.Machine.CopyStreamCost(vp.Now(), vp.Core, srcNode, dstNode, (n+1)*8,
+		numa.AccessMemory, numa.AccessMemory))
+	return na
+}
+
+// globalScanRoots scans the vproc's roots and entire local heap for
+// pointers into from-space (§3.4: "scans the vproc's roots and local heap,
+// placing any objects pointed-to into this new to-space chunk").
+func (vp *VProc) globalScanRoots() {
+	rt := vp.rt
+	fw := vp.globalForward
+	for i, a := range vp.roots {
+		vp.roots[i] = fw(a)
+	}
+	for _, t := range vp.queue.items {
+		for i, a := range t.env {
+			t.env[i] = fw(a)
+		}
+	}
+	for i, pa := range vp.proxies {
+		vp.proxies[i] = fw(pa)
+	}
+	for _, t := range vp.resultTasks {
+		t.result = fw(t.result)
+	}
+	// Walk the local heap (young data only, after the preceding
+	// minor+major).
+	lh := vp.Local
+	words := lh.Region.Words
+	for scan := 1; scan < lh.OldTop; {
+		h := words[scan]
+		var n int
+		if heap.IsHeader(h) {
+			obj := heap.MakeAddr(lh.Region.ID, scan+1)
+			heap.ScanObject(rt.Space, rt.Descs, obj, func(_ int, p heap.Addr) heap.Addr {
+				return fw(p)
+			})
+			n = heap.HeaderLen(h)
+		} else {
+			n = rt.Space.ObjectLen(heap.ForwardTarget(h))
+		}
+		scan += n + 1
+	}
+	// Charge the local-heap walk as a streaming read.
+	node := rt.Space.NodeOf(heap.MakeAddr(lh.Region.ID, 1))
+	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, (lh.OldTop-1)*8, numa.AccessCache))
+}
+
+// enqueueScan registers a to-space chunk as holding unscanned data.
+func (rt *Runtime) enqueueScan(c *heap.Chunk) {
+	node := c.Node
+	if !rt.Cfg.NodeLocalScan {
+		node = 0 // ablation: one shared list
+	}
+	rt.global.scanByNode[node] = append(rt.global.scanByNode[node], c)
+}
+
+// globalScanLoop drains unscanned to-space data: first the vproc's own
+// current chunk, then pending chunks from its node's list (falling back to
+// other nodes' lists only when its own is empty, charging the remote
+// synchronization), until no unscanned data remains anywhere.
+func (vp *VProc) globalScanLoop() {
+	rt := vp.rt
+	for {
+		// Drain our own allocation chunk incrementally.
+		progressed := false
+		for c := vp.curChunk; c != nil && c.Scan < c.Top; {
+			progressed = true
+			vp.scanChunkStep(c)
+			if vp.curChunk != c {
+				// The chunk filled mid-scan and was replaced;
+				// getChunk queued it for later completion.
+				break
+			}
+		}
+		// Pop a pending chunk, preferring the local node.
+		if c := vp.popScanChunk(); c != nil {
+			for c.Scan < c.Top {
+				vp.scanChunkStep(c)
+			}
+			progressed = true
+		}
+		if progressed {
+			continue
+		}
+		if rt.globalScanDrained() {
+			return
+		}
+		vp.advance(rt.Cfg.PollNs)
+	}
+}
+
+// scanChunkStep scans one object of the chunk, copying its from-space
+// referents (which may fill the scanner's current chunk and swap it).
+func (vp *VProc) scanChunkStep(c *heap.Chunk) {
+	rt := vp.rt
+	h := c.Region.Words[c.Scan]
+	if !heap.IsHeader(h) {
+		panic(fmt.Sprintf("core: forwarding pointer in global to-space (vproc %d, chunk r%d node %d from=%v scan=%d top=%d owner=%d word=%#x target=%v)",
+			vp.ID, c.Region.ID, c.Node, c.FromSpace, c.Scan, c.Top, c.Owner, h, heap.ForwardTarget(h)))
+	}
+	obj := heap.MakeAddr(c.Region.ID, c.Scan+1)
+	vp.scanningChunk = c
+	heap.ScanObject(rt.Space, rt.Descs, obj, func(_ int, p heap.Addr) heap.Addr {
+		return vp.globalForward(p)
+	})
+	vp.scanningChunk = nil
+	c.Scan += heap.HeaderLen(h) + 1
+	if vp.deferredEnqueue {
+		vp.deferredEnqueue = false
+		if c.Scan < c.Top {
+			rt.enqueueScan(c)
+		}
+	}
+}
+
+// popScanChunk takes a pending chunk, node-local first.
+func (vp *VProc) popScanChunk() *heap.Chunk {
+	rt := vp.rt
+	g := &rt.global
+	take := func(node int) *heap.Chunk {
+		l := g.scanByNode[node]
+		if len(l) == 0 {
+			return nil
+		}
+		c := l[len(l)-1]
+		g.scanByNode[node] = l[:len(l)-1]
+		return c
+	}
+	if c := take(nodeListFor(rt, vp.Node)); c != nil {
+		vp.advance(rt.Cfg.ChunkSyncLocalNs)
+		return c
+	}
+	for n := range g.scanByNode {
+		if c := take(n); c != nil {
+			// Cross-node fallback keeps the collection live when a
+			// node has pending chunks but no vproc.
+			vp.advance(rt.Cfg.ChunkSyncGlobalNs)
+			rt.Stats.CrossNodeScanned++
+			return c
+		}
+	}
+	return nil
+}
+
+// nodeListFor maps a vproc's node to its scan list, honoring the
+// shared-list ablation.
+func nodeListFor(rt *Runtime, node int) int {
+	if !rt.Cfg.NodeLocalScan {
+		return 0
+	}
+	return node
+}
+
+// globalScanDrained reports whether no unscanned to-space data remains.
+func (rt *Runtime) globalScanDrained() bool {
+	for _, l := range rt.global.scanByNode {
+		if len(l) > 0 {
+			return false
+		}
+	}
+	for _, o := range rt.VProcs {
+		if o.curChunk != nil && o.curChunk.Scan < o.curChunk.Top {
+			return false
+		}
+	}
+	return true
+}
+
+// chunkOfRegion finds the chunk owning a chunk region.
+func (rt *Runtime) chunkOfRegion(r *heap.Region) *heap.Chunk {
+	c := rt.Chunks.ChunkOf(r.ID)
+	if c == nil {
+		panic(fmt.Sprintf("core: region %d has no chunk", r.ID))
+	}
+	return c
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/numa"
+)
+
+// majorGC performs a major collection (§3.3, Figure 3): live objects in the
+// old-data area are copied to the vproc's dedicated chunk in the global
+// heap. To avoid premature promotion the old-data area is partitioned: the
+// young data (copied by the immediately preceding minor collection, hence
+// guaranteed live) stays in the local heap and is slid down to the bottom.
+// Synchronization is needed only when the current chunk is exhausted.
+//
+// Preconditions: a minor collection has just completed (the nursery is
+// empty).
+func (vp *VProc) majorGC() {
+	rt := vp.rt
+	lh := vp.Local
+	start := vp.Now()
+	vp.heapBusy = true
+	rt.localGCActive++
+	vp.Stats.MajorGCs++
+
+	region := lh.Region
+	words := region.Words
+
+	// From-space is the old partition [1, youngStart); with the
+	// young-data partition disabled (ablation) everything below OldTop
+	// is evacuated, including the guaranteed-live young data.
+	youngStart := lh.YoungStart
+	if !rt.Cfg.YoungPartition {
+		youngStart = lh.OldTop
+	}
+	var copied int64
+
+	// forward evacuates an old-partition object into the global heap.
+	var forward func(a heap.Addr) heap.Addr
+	forward = func(a heap.Addr) heap.Addr {
+		if a == 0 || a.RegionID() != region.ID || a.Word() >= youngStart {
+			return a
+		}
+		h := words[a.Word()-1]
+		if !heap.IsHeader(h) {
+			return heap.ForwardTarget(h)
+		}
+		n := heap.HeaderLen(h)
+		dst := rt.globalAllocDst(vp, n)
+		na := dst.Bump(h)
+		dpay := rt.Space.Payload(na)
+		copy(dpay, words[a.Word():a.Word()+n])
+		words[a.Word()-1] = heap.MakeForward(na)
+		copied += int64(n + 1)
+
+		srcNode := rt.Space.NodeOf(a)
+		dstNode := rt.Space.NodeOf(na)
+		vp.advance(rt.Machine.CopyStreamCost(vp.Now(), vp.Core, srcNode, dstNode, (n+1)*8,
+			numa.AccessCache, numa.AccessMemory))
+
+		// Cheney-scan the copy immediately (recursive formulation is
+		// fine here: object graphs in the local heap are bounded by
+		// the local heap size).
+		heap.ScanObject(rt.Space, rt.Descs, na, func(_ int, p heap.Addr) heap.Addr {
+			return forward(p)
+		})
+		return na
+	}
+
+	// Roots: shadow stack, queued task environments, proxy local slots.
+	vp.forwardLocalRoots(forward)
+
+	// The young data is live by construction; its pointers into the old
+	// partition must be forwarded. Walk it sequentially (skipping
+	// forwarding words left by earlier promotions).
+	for scan := youngStart; scan < lh.OldTop; {
+		h := words[scan]
+		var n int
+		if heap.IsHeader(h) {
+			obj := heap.MakeAddr(region.ID, scan+1)
+			heap.ScanObject(rt.Space, rt.Descs, obj, func(_ int, p heap.Addr) heap.Addr {
+				return forward(p)
+			})
+			n = heap.HeaderLen(h)
+		} else {
+			// A promotion left a forwarding pointer here; the
+			// object length is preserved at the target.
+			n = rt.Space.ObjectLen(heap.ForwardTarget(h))
+		}
+		scan += n + 1
+	}
+
+	// Figure 3 "reclaim space": slide the young data down to the bottom
+	// of the heap. Intra-young pointers shift by delta; pointers to the
+	// evacuated old partition were already rewritten to global addresses.
+	delta := youngStart - 1
+	youngLen := lh.OldTop - youngStart
+	if delta > 0 && youngLen > 0 {
+		copy(words[1:1+youngLen], words[youngStart:lh.OldTop])
+		// Charge the slide as a local-heap copy.
+		node := rt.Space.NodeOf(heap.MakeAddr(region.ID, 1))
+		vp.advance(rt.Machine.CopyStreamCost(vp.Now(), vp.Core, node, node, youngLen*8,
+			numa.AccessCache, numa.AccessCache))
+	}
+	adjust := func(a heap.Addr) heap.Addr {
+		if a != 0 && a.RegionID() == region.ID && a.Word() >= youngStart && a.Word() < lh.OldTop {
+			return heap.MakeAddr(region.ID, a.Word()-delta)
+		}
+		return a
+	}
+	if delta > 0 && youngLen > 0 {
+		for scan := 1; scan < 1+youngLen; {
+			h := words[scan]
+			var n int
+			if heap.IsHeader(h) {
+				obj := heap.MakeAddr(region.ID, scan+1)
+				heap.ScanObject(rt.Space, rt.Descs, obj, func(_ int, p heap.Addr) heap.Addr {
+					return adjust(p)
+				})
+				n = heap.HeaderLen(h)
+			} else {
+				n = rt.Space.ObjectLen(heap.ForwardTarget(h))
+			}
+			scan += n + 1
+		}
+		vp.forwardLocalRoots(adjust)
+	}
+
+	lh.OldTop = 1 + youngLen
+	lh.YoungStart = lh.OldTop // young becomes old; next minor repopulates
+	lh.ResetNursery()
+
+	vp.Stats.MajorCopied += copied
+	vp.Stats.GCNs += vp.Now() - start
+	vp.heapBusy = false
+	rt.localGCActive--
+
+	if rt.Cfg.Debug && rt.localGCActive == 0 {
+		if err := rt.VerifyHeap(); err != nil {
+			panic(fmt.Sprintf("core: after major GC on vproc %d: %v", vp.ID, err))
+		}
+	}
+	rt.emit(GCEvent{Kind: EvMajor, VProc: vp.ID, Ns: vp.Now() - start, Words: copied})
+	// The global-collection trigger (§3.4) is checked in getChunk, which
+	// observes every growth of the global heap including this major's
+	// chunk requests.
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/numa"
+)
+
+// minorGC performs a minor collection (§3.3, Figure 2): all live data is
+// copied from the nursery into the old-data area of the same local heap.
+// Because there are no pointers into the local heap from outside (other
+// than the roots), minor collections require no synchronization with other
+// vprocs. Afterwards the remaining free space is split and the upper half
+// becomes the new nursery, and a major collection is triggered if the new
+// nursery falls below threshold or a global collection is pending.
+func (vp *VProc) minorGC() {
+	rt := vp.rt
+	lh := vp.Local
+	start := vp.Now()
+	vp.heapBusy = true
+	rt.localGCActive++
+	vp.Stats.MinorGCs++
+
+	region := lh.Region
+	words := region.Words
+	oldTopBefore := lh.OldTop
+	nurseryStart := lh.NurseryStart
+	var copied int64
+
+	// forward copies a nursery object to the old-data area and returns
+	// its new address; non-nursery addresses pass through unchanged.
+	var forward func(a heap.Addr) heap.Addr
+	forward = func(a heap.Addr) heap.Addr {
+		if a == 0 || a.RegionID() != region.ID || a.Word() < nurseryStart {
+			return a
+		}
+		h := words[a.Word()-1]
+		if !heap.IsHeader(h) {
+			// Already copied by this collection, or promoted
+			// earlier; either way follow the forwarding pointer.
+			// A promoted object's global copy needs no further
+			// treatment here.
+			return heap.ForwardTarget(h)
+		}
+		n := heap.HeaderLen(h)
+		dst := lh.OldTop
+		if dst+n+1 > lh.NurseryStart {
+			panic(fmt.Sprintf("core: vproc %d minor GC overflowed reserve (dst=%d n=%d nursery=%d)",
+				vp.ID, dst, n, lh.NurseryStart))
+		}
+		words[dst] = h
+		copy(words[dst+1:dst+1+n], words[a.Word():a.Word()+n])
+		na := heap.MakeAddr(region.ID, dst+1)
+		words[a.Word()-1] = heap.MakeForward(na)
+		lh.OldTop = dst + n + 1
+		copied += int64(n + 1)
+
+		// Charge the copy: nursery and old area are both in the local
+		// heap, so with node-local pages this is an L3-resident copy.
+		srcNode := rt.Space.NodeOf(a)
+		dstNode := rt.Space.NodeOf(na)
+		vp.advance(rt.Machine.CopyStreamCost(vp.Now(), vp.Core, srcNode, dstNode, (n+1)*8,
+			numa.AccessCache, numa.AccessCache))
+		return na
+	}
+
+	vp.forwardLocalRoots(forward)
+
+	// Cheney scan of the data copied into the old area.
+	scan := oldTopBefore
+	for scan < lh.OldTop {
+		h := words[scan]
+		if !heap.IsHeader(h) {
+			panic("core: forwarding pointer in minor to-space")
+		}
+		obj := heap.MakeAddr(region.ID, scan+1)
+		heap.ScanObject(rt.Space, rt.Descs, obj, func(_ int, p heap.Addr) heap.Addr {
+			return forward(p)
+		})
+		scan += heap.HeaderLen(h) + 1
+	}
+
+	// Figure 2: reclaim the nursery, split the free space, upper half
+	// becomes the new nursery. Everything copied by this collection is
+	// the young-data partition for the next major collection.
+	lh.YoungStart = oldTopBefore
+	lh.ResetNursery()
+
+	vp.Stats.MinorCopied += copied
+	vp.Stats.GCNs += vp.Now() - start
+	vp.heapBusy = false
+	rt.localGCActive--
+
+	if rt.Cfg.Debug && rt.localGCActive == 0 {
+		if err := rt.VerifyHeap(); err != nil {
+			panic(fmt.Sprintf("core: after minor GC on vproc %d: %v", vp.ID, err))
+		}
+	}
+	rt.emit(GCEvent{Kind: EvMinor, VProc: vp.ID, Ns: vp.Now() - start, Words: copied})
+
+	// §3.3: "A minor garbage collection triggers a major garbage
+	// collection when the size of the new nursery area falls below a
+	// certain threshold or if a global garbage collection is pending."
+	if lh.NurseryWords() < rt.Cfg.MinNurseryWords || rt.global.pending {
+		vp.majorGC()
+	}
+}
+
+// forwardLocalRoots applies a forwarding function to every root of this
+// vproc's local heap: the shadow root stack, the environments of queued
+// tasks, and the local slots of proxy objects owned by this vproc.
+func (vp *VProc) forwardLocalRoots(forward func(heap.Addr) heap.Addr) {
+	for i, a := range vp.roots {
+		vp.roots[i] = forward(a)
+	}
+	for _, t := range vp.queue.items {
+		for i, a := range t.env {
+			t.env[i] = forward(a)
+		}
+	}
+	for _, pa := range vp.proxies {
+		p := vp.rt.Space.Payload(pa)
+		la := heap.Addr(p[heap.ProxyLocalSlot])
+		p[heap.ProxyLocalSlot] = uint64(forward(la))
+	}
+	for _, t := range vp.resultTasks {
+		t.result = forward(t.result)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/numa"
+)
+
+// Object proxies (§3.1, footnote 1): "a special kind of object that is used
+// to allow references from the global heap back into the local heap. We use
+// them in the implementation of our explicit concurrency constructs."
+//
+// A proxy lives in the global heap and names a local-heap object of its
+// owner vproc without the owner having to promote it up front: a CML send
+// can enqueue a proxy for a waiting continuation, and the data is promoted
+// lazily only if a different vproc ends up needing it. The owner registers
+// its proxies so local collections keep the local slot current; the global
+// collector traces only the proxy's global slot.
+
+// NewProxy allocates a proxy (in the global heap) for the local object held
+// in the given root slot and returns the proxy's global address.
+func (vp *VProc) NewProxy(localSlot int) heap.Addr {
+	rt := vp.rt
+	target := vp.roots[localSlot]
+	dst := rt.globalAllocDst(vp, heap.ProxySizeWords)
+	pa := dst.Bump(heap.MakeHeader(heap.IDProxy, heap.ProxySizeWords))
+	p := rt.Space.Payload(pa)
+	p[heap.ProxyOwnerSlot] = uint64(vp.ID)
+	p[heap.ProxyLocalSlot] = uint64(target)
+	p[heap.ProxyGlobalSlot] = 0
+	node := rt.Space.NodeOf(pa)
+	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, heap.ProxySizeWords*8, numa.AccessMemory))
+	vp.proxies = append(vp.proxies, pa)
+	return pa
+}
+
+// IsProxy reports whether the object at a is a proxy.
+func (vp *VProc) IsProxy(a heap.Addr) bool {
+	return heap.HeaderID(vp.rt.Space.Header(vp.resolve(a))) == heap.IDProxy
+}
+
+// ProxyDeref resolves a proxy to an address the calling vproc may use.
+// Three cases:
+//   - the proxied object has already been promoted: the global copy;
+//   - the caller is the proxy's owner: the local object directly;
+//   - otherwise: the object must cross vprocs, so it is promoted out of the
+//     owner's heap (with the same handshake a thief uses), recorded in the
+//     proxy's global slot, and deregistered from the owner.
+func (vp *VProc) ProxyDeref(proxy heap.Addr) heap.Addr {
+	rt := vp.rt
+	proxy = vp.resolve(proxy)
+	p := rt.Space.Payload(proxy)
+	node := rt.Space.NodeOf(proxy)
+	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, heap.ProxySizeWords*8, numa.AccessMemory))
+
+	if g := heap.Addr(p[heap.ProxyGlobalSlot]); g != 0 {
+		return g
+	}
+	owner := rt.VProcs[p[heap.ProxyOwnerSlot]]
+	local := heap.Addr(p[heap.ProxyLocalSlot])
+	if owner == vp {
+		// The local slot may already hold a global address if the
+		// object was promoted for another reason; either way it is
+		// directly usable by the owner.
+		return vp.resolve(local)
+	}
+	// Cross-vproc dereference: promote out of the owner's heap.
+	for owner.heapBusy {
+		vp.advance(rt.Cfg.SpinNs)
+	}
+	owner.heapBusy = true
+	g := vp.promoteFrom(owner, local)
+	owner.heapBusy = false
+	p = rt.Space.Payload(proxy) // unchanged address; reload for clarity
+	p[heap.ProxyGlobalSlot] = uint64(g)
+	p[heap.ProxyLocalSlot] = 0
+	owner.dropProxy(proxy)
+	return g
+}
+
+// dropProxy removes a resolved proxy from the owner's registry (its local
+// slot no longer needs root treatment).
+func (vp *VProc) dropProxy(pa heap.Addr) {
+	for i, q := range vp.proxies {
+		if q == pa {
+			vp.proxies = append(vp.proxies[:i], vp.proxies[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: proxy %v not registered with vproc %d", pa, vp.ID))
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+)
+
+func TestProxyOwnerDerefStaysLocal(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	rt.Run(func(vp *VProc) {
+		obj := vp.AllocRaw([]uint64{11, 22})
+		s := vp.PushRoot(obj)
+		proxy := vp.NewProxy(s)
+		if !vp.IsProxy(proxy) {
+			t.Fatal("NewProxy did not produce a proxy object")
+		}
+		got := vp.ProxyDeref(proxy)
+		if rt.Space.Region(got.RegionID()).Kind != heap.RegionLocal {
+			t.Error("owner deref should resolve to the local object")
+		}
+		if vp.LoadWord(got, 0) != 11 {
+			t.Error("payload wrong through proxy")
+		}
+		vp.PopRoots(1)
+	})
+}
+
+func TestProxyLocalSlotIsGCRoot(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	rt.Run(func(vp *VProc) {
+		obj := vp.AllocRaw([]uint64{33})
+		s := vp.PushRoot(obj)
+		proxy := vp.NewProxy(s)
+		vp.PopRoots(1) // only the proxy keeps the object alive now
+		churn(vp, 3000, 4)
+		got := vp.ProxyDeref(proxy)
+		if vp.LoadWord(got, 0) != 33 {
+			t.Error("proxied object lost across collections")
+		}
+		if err := rt.VerifyHeap(); err != nil {
+			t.Errorf("heap invariants: %v", err)
+		}
+	})
+}
+
+func TestProxyCrossVProcDerefPromotes(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(2))
+	var crossGlobal, crossRan bool
+	rt.Run(func(vp *VProc) {
+		obj := vp.AllocRaw([]uint64{55})
+		s := vp.PushRoot(obj)
+		proxy := vp.NewProxy(s)
+		ps := vp.PushRoot(proxy)
+
+		task := vp.Spawn(func(tvp *VProc, env Env) {
+			if tvp.ID == 0 {
+				return // not stolen; nothing to assert
+			}
+			crossRan = true
+			got := tvp.ProxyDeref(env.Get(tvp, 0))
+			crossGlobal = tvp.rt.Space.Region(got.RegionID()).Kind == heap.RegionChunk
+			if tvp.LoadWord(got, 0) != 55 {
+				t.Error("cross-vproc proxy payload wrong")
+			}
+		}, vp.Root(ps))
+		vp.Compute(1_000_000)
+		vp.Join(task)
+		vp.PopRoots(2)
+	})
+	if crossRan && !crossGlobal {
+		t.Error("cross-vproc deref did not promote the proxied object")
+	}
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}
+
+func TestProxyAfterUnderlyingPromotion(t *testing.T) {
+	// If the proxied object gets promoted for another reason, the
+	// owner's deref must follow the forwarding to the global copy, and
+	// repeated derefs must agree.
+	rt := MustNewRuntime(stressConfig(1))
+	rt.Run(func(vp *VProc) {
+		obj := vp.AllocRaw([]uint64{77})
+		s := vp.PushRoot(obj)
+		proxy := vp.NewProxy(s)
+		ps := vp.PushRoot(proxy)
+		vp.PromoteRoot(s)
+		g1 := vp.ProxyDeref(vp.Root(ps))
+		g2 := vp.ProxyDeref(vp.Root(ps))
+		if g1 != g2 {
+			t.Errorf("proxy resolved to different objects: %v vs %v", g1, g2)
+		}
+		if rt.Space.Region(g2.RegionID()).Kind != heap.RegionChunk {
+			t.Error("deref should follow promotion to the global copy")
+		}
+		if vp.LoadWord(g2, 0) != 77 {
+			t.Error("payload wrong after promotion")
+		}
+		vp.PopRoots(2)
+	})
+}
+
+func TestMutRefRejectsNonRef(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	rt.Run(func(vp *VProc) {
+		raw := vp.AllocRaw([]uint64{1, 2})
+		defer func() {
+			if recover() == nil {
+				t.Error("ReadRef of a non-ref should panic")
+			}
+		}()
+		vp.ReadRef(raw)
+	})
+}
+
+func TestMutRefSurvivesGlobalGC(t *testing.T) {
+	cfg := stressConfig(1)
+	cfg.GlobalTriggerWords = 4 * cfg.ChunkWords
+	rt := MustNewRuntime(cfg)
+	rt.Run(func(vp *VProc) {
+		init := vp.AllocRaw([]uint64{9})
+		is := vp.PushRoot(init)
+		ref := vp.NewRef(is)
+		rs := vp.PushRoot(ref)
+		// Force several global collections by promoting garbage trees.
+		for i := 0; i < 8; i++ {
+			b := buildTree(vp, 6, uint64(i))
+			bs := vp.PushRoot(b)
+			vp.PromoteRoot(bs)
+			vp.PopRoots(1)
+			churn(vp, 500, 6)
+		}
+		got := vp.ReadRef(vp.Root(rs))
+		if vp.LoadWord(got, 0) != 9 {
+			t.Error("ref contents lost across global collections")
+		}
+		vp.PopRoots(2)
+	})
+	if rt.Stats.GlobalGCs == 0 {
+		t.Error("expected global collections during churn")
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/mempage"
+	"repro/internal/numa"
+	"repro/internal/vtime"
+)
+
+// Runtime is the assembled Manticore runtime system: machine model, page
+// table, heap space, descriptor table, chunk manager, vprocs, scheduler
+// state, and the global-collection protocol state.
+type Runtime struct {
+	Cfg     Config
+	Machine *numa.Machine
+	Pages   *mempage.Table
+	Space   *heap.Space
+	Descs   *heap.Table
+	Chunks  *heap.ChunkManager
+	Eng     *vtime.Engine
+	VProcs  []*VProc
+
+	// Scheduler state (serialized by the virtual-time engine).
+	outstanding int64 // spawned but not yet completed tasks
+	finished    bool
+
+	global globalState
+	tracer Tracer
+
+	// localGCActive counts vprocs currently inside a local collection or
+	// promotion. The Debug verifier only runs when it is zero: a
+	// suspended collector legitimately has partially-scanned copies in
+	// its chunk, which are unreachable by other vprocs but visible to a
+	// whole-heap walk.
+	localGCActive int
+
+	// globalRoots are addresses pinned by the embedding program (shared
+	// structures held in Go variables across collections); the global
+	// collector updates them in place.
+	globalRoots []*heap.Addr
+
+	Stats RTStats
+}
+
+// RegisterGlobalRoot pins a global-heap address held outside the simulated
+// heap (e.g. by a benchmark harness) so global collections keep it current.
+// The referent must be in the global heap.
+func (rt *Runtime) RegisterGlobalRoot(a *heap.Addr) {
+	rt.globalRoots = append(rt.globalRoots, a)
+}
+
+// RTStats aggregates runtime-wide statistics.
+type RTStats struct {
+	GlobalGCs        int
+	GlobalCopied     int64 // words copied by global collections
+	GlobalNs         int64 // virtual wall time spent in global collections
+	ChunksFromSpace  int
+	CrossNodeScanned int // chunks scanned by a vproc on another node
+}
+
+// NewRuntime builds a runtime from the configuration. Descriptor
+// registration must happen before the first allocation of the corresponding
+// mixed type; use rt.Descs.Register.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		Cfg:     cfg,
+		Machine: numa.NewMachine(cfg.Topo),
+		Pages:   mempage.NewTable(cfg.Policy, cfg.Topo.NumNodes()),
+		Descs:   heap.NewTable(),
+		Eng:     vtime.NewEngine(cfg.NumVProcs),
+	}
+	rt.Space = heap.NewSpace(rt.Pages)
+	rt.Chunks = heap.NewChunkManager(rt.Space, cfg.ChunkWords, cfg.Topo.NumNodes())
+	rt.Chunks.NodeAffine = cfg.NodeAffineChunks
+
+	cores := cfg.Topo.SparseCoreAssignment(cfg.NumVProcs)
+	for i := 0; i < cfg.NumVProcs; i++ {
+		core := cores[i]
+		node := cfg.Topo.NodeOfCore(core)
+		vp := &VProc{
+			ID:   i,
+			Core: core,
+			Node: node,
+			rt:   rt,
+			proc: rt.Eng.Proc(i),
+			rng:  cfg.Seed ^ (uint64(i+1) * 0x9E3779B97F4A7C15),
+		}
+		// Local heap pages are placed by the policy on behalf of the
+		// vproc's node: under the local policy they are node-local;
+		// under interleaved/single-node they land elsewhere, which is
+		// exactly the experiment of §4.3.
+		r := rt.Space.NewRegion(heap.RegionLocal, i, cfg.LocalHeapWords, node)
+		vp.Local = heap.NewLocalHeap(r)
+		rt.VProcs = append(rt.VProcs, vp)
+	}
+	rt.global.init(rt)
+	return rt, nil
+}
+
+// MustNewRuntime is NewRuntime, panicking on configuration errors.
+func MustNewRuntime(cfg Config) *Runtime {
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// getChunk hands the vproc a fresh current chunk and charges the
+// synchronization cost: node-local for a reused chunk, global for a fresh
+// system allocation (§3.3). During the scan phase of a global collection,
+// a replaced chunk that still holds unscanned data is queued on its node's
+// scan list.
+func (rt *Runtime) getChunk(vp *VProc) {
+	if rt.global.scanning {
+		if old := vp.curChunk; old != nil && old.Scan < old.Top {
+			if old == vp.scanningChunk {
+				// The vproc is mid-step in this very chunk;
+				// enqueueing it now would let another vproc
+				// advance the same scan pointer concurrently.
+				vp.deferredEnqueue = true
+			} else {
+				rt.enqueueScan(old)
+			}
+		}
+	}
+	c, sync := rt.Chunks.Get(vp.Node, vp.ID)
+	vp.Stats.ChunksRequested++
+	switch sync {
+	case heap.SyncNodeLocal:
+		vp.advance(rt.Cfg.ChunkSyncLocalNs)
+	case heap.SyncGlobal:
+		vp.advance(rt.Cfg.ChunkSyncGlobalNs)
+	}
+	vp.curChunk = c
+
+	// §3.4: global collection is triggered when the allocated global
+	// chunkage exceeds the threshold. Checking here covers every growth
+	// path (major collections, promotions, proxies, refs). The request
+	// only raises the flag; collection starts at the next safepoint.
+	if !rt.global.pending && rt.Chunks.AllocatedWords > rt.Cfg.GlobalTriggerWords {
+		rt.requestGlobalGC(vp)
+	}
+}
+
+// globalAllocDst returns the vproc's current chunk with room for
+// payloadWords, fetching new chunks as needed.
+func (rt *Runtime) globalAllocDst(vp *VProc, payloadWords int) *heap.Chunk {
+	if payloadWords+1 > rt.Cfg.ChunkWords-1 {
+		panic(fmt.Sprintf("core: object of %d words exceeds chunk size %d", payloadWords, rt.Cfg.ChunkWords))
+	}
+	if vp.curChunk == nil || !vp.curChunk.CanAlloc(payloadWords) {
+		rt.getChunk(vp)
+	}
+	return vp.curChunk
+}
+
+// Run executes entry as the initial task on vproc 0 and drives all vprocs
+// until every spawned task has completed. It returns the virtual makespan
+// in nanoseconds.
+func (rt *Runtime) Run(entry func(vp *VProc)) int64 {
+	rt.outstanding = 1
+	rt.Eng.Run(func(p *vtime.Proc) {
+		vp := rt.VProcs[p.ID]
+		if p.ID == 0 {
+			entry(vp)
+			vp.Stats.TasksRun++
+			rt.outstanding--
+		}
+		vp.schedulerLoop()
+	})
+	return rt.Eng.MaxClock()
+}
+
+// TotalStats sums the per-vproc statistics.
+func (rt *Runtime) TotalStats() VPStats {
+	var t VPStats
+	for _, vp := range rt.VProcs {
+		t.MinorGCs += vp.Stats.MinorGCs
+		t.MajorGCs += vp.Stats.MajorGCs
+		t.Promotions += vp.Stats.Promotions
+		t.MinorCopied += vp.Stats.MinorCopied
+		t.MajorCopied += vp.Stats.MajorCopied
+		t.PromotedWords += vp.Stats.PromotedWords
+		t.GCNs += vp.Stats.GCNs
+		t.GlobalNs += vp.Stats.GlobalNs
+		t.TasksRun += vp.Stats.TasksRun
+		t.Steals += vp.Stats.Steals
+		t.FailedSteals += vp.Stats.FailedSteals
+		t.AllocWords += vp.Stats.AllocWords
+		t.ChunksRequested += vp.Stats.ChunksRequested
+	}
+	return t
+}

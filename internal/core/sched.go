@@ -1,0 +1,347 @@
+package core
+
+import "repro/internal/heap"
+
+// Env gives task code GC-safe access to its captured heap references: the
+// addresses live in the executing vproc's root stack, which every
+// collection rewrites, so Get always yields the object's current address.
+type Env struct {
+	base, n int
+}
+
+// Len returns the number of captured references.
+func (e Env) Len() int { return e.n }
+
+// Get reads captured reference i at its current (post-GC) address.
+func (e Env) Get(vp *VProc, i int) heap.Addr {
+	if i < 0 || i >= e.n {
+		panic("core: Env.Get out of range")
+	}
+	return vp.roots[e.base+i]
+}
+
+// Set overwrites captured reference i.
+func (e Env) Set(vp *VProc, i int, a heap.Addr) {
+	if i < 0 || i >= e.n {
+		panic("core: Env.Set out of range")
+	}
+	vp.roots[e.base+i] = a
+}
+
+// Task is a unit of parallel work (§2.3): a continuation pushed onto a
+// vproc-local work queue. Env carries the heap references the continuation
+// captured; while the task sits in its owner's queue these are local-GC
+// roots, and when the task is stolen they are promoted to the global heap
+// first (lazy promotion), preserving the heap invariants without write
+// barriers.
+type Task struct {
+	// Fn runs the task on the executing vproc; env exposes the captured
+	// references through the executing vproc's root stack.
+	Fn func(vp *VProc, env Env)
+	// resFn, if set instead of Fn, produces a heap result. When the task
+	// executes on a vproc other than its owner, the result is promoted
+	// before being handed back — the same rule the language runtime
+	// applies to values returned from migrated work.
+	resFn func(vp *VProc, env Env) heap.Addr
+	// env holds the captured heap references while the task is queued
+	// (scanned as local-GC roots of the owner).
+	env []heap.Addr
+	// owner is the vproc that spawned the task.
+	owner int
+	// executor ran the task; its collections keep result current until
+	// JoinResult detaches it.
+	executor *VProc
+	// result is the produced value; a GC root of the executor while
+	// registered.
+	result heap.Addr
+	// done is set after Fn returns; Join polls it.
+	done bool
+}
+
+// Result returns the task's produced value; valid only after Done and
+// normally consumed through JoinResult.
+func (t *Task) Result() heap.Addr { return t.result }
+
+// Done reports whether the task has completed.
+func (t *Task) Done() bool { return t.done }
+
+// deque is the vproc-local work queue: the owner pushes and pops at the
+// bottom (LIFO, for locality); thieves steal from the top (FIFO, stealing
+// the oldest — typically largest — task). The virtual-time engine
+// serializes all access.
+type deque struct {
+	items []*Task
+}
+
+func (d *deque) pushBottom(t *Task) { d.items = append(d.items, t) }
+
+func (d *deque) popBottom() *Task {
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	t := d.items[n-1]
+	d.items = d.items[:n-1]
+	return t
+}
+
+func (d *deque) popTop() *Task {
+	if len(d.items) == 0 {
+		return nil
+	}
+	t := d.items[0]
+	d.items = d.items[1:]
+	return t
+}
+
+// removeTask unlinks a specific task (for inline joins); returns false if
+// the task is no longer queued (it was stolen).
+func (d *deque) removeTask(t *Task) bool {
+	for i, q := range d.items {
+		if q == t {
+			d.items = append(d.items[:i], d.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (d *deque) size() int { return len(d.items) }
+
+// MakeEnv pushes the given addresses as roots and returns an Env over them;
+// the caller pops len(addrs) roots when done. It lets embedding code (and
+// tests) call task bodies directly with GC-safe captures.
+func (vp *VProc) MakeEnv(addrs ...heap.Addr) Env {
+	base := len(vp.roots)
+	vp.roots = append(vp.roots, addrs...)
+	return Env{base: base, n: len(addrs)}
+}
+
+// Spawn pushes a task onto this vproc's queue and returns it. The captured
+// addresses are snapshotted into the task; they remain GC roots of this
+// vproc while queued. Under eager promotion (the ablation of the paper's
+// lazy scheme) the environment is promoted immediately; under lazy
+// promotion it stays local until stolen.
+func (vp *VProc) Spawn(fn func(vp *VProc, env Env), env ...heap.Addr) *Task {
+	t := &Task{Fn: fn, env: append([]heap.Addr(nil), env...), owner: vp.ID}
+	if !vp.rt.Cfg.LazyPromotion {
+		for i, a := range t.env {
+			t.env[i] = vp.Promote(a)
+		}
+	}
+	vp.queue.pushBottom(t)
+	vp.rt.outstanding++
+	return t
+}
+
+// runTask executes a task on this vproc: the environment is moved onto the
+// executing vproc's root stack so collections keep it current.
+func (vp *VProc) runTask(t *Task) {
+	base := len(vp.roots)
+	vp.roots = append(vp.roots, t.env...)
+	e := Env{base: base, n: len(t.env)}
+	if t.resFn != nil {
+		r := t.resFn(vp, e)
+		if vp.ID != t.owner {
+			// The result crosses vprocs: promote it out of our
+			// local heap before publishing.
+			r = vp.Promote(r)
+		}
+		t.result = r
+		t.executor = vp
+		vp.resultTasks = append(vp.resultTasks, t)
+	} else {
+		t.Fn(vp, e)
+	}
+	vp.roots = vp.roots[:base]
+	t.done = true
+	vp.Stats.TasksRun++
+	vp.rt.outstanding--
+}
+
+// SpawnResult spawns a result-producing task.
+func (vp *VProc) SpawnResult(fn func(vp *VProc, env Env) heap.Addr, env ...heap.Addr) *Task {
+	t := &Task{resFn: fn, env: append([]heap.Addr(nil), env...), owner: vp.ID}
+	if !vp.rt.Cfg.LazyPromotion {
+		for i, a := range t.env {
+			t.env[i] = vp.Promote(a)
+		}
+	}
+	vp.queue.pushBottom(t)
+	vp.rt.outstanding++
+	return t
+}
+
+// JoinResult joins a result-producing task and returns its result, valid
+// for use by this (owning) vproc: either a value in this vproc's own local
+// heap (the task ran inline) or a promoted global value (the task was
+// stolen). The caller must root the result before its next allocation.
+func (vp *VProc) JoinResult(t *Task) heap.Addr {
+	if t.owner != vp.ID {
+		panic("core: JoinResult by non-owner")
+	}
+	vp.Join(t)
+	// Detach the result from the executor's root set.
+	ex := t.executor
+	for i, q := range ex.resultTasks {
+		if q == t {
+			ex.resultTasks = append(ex.resultTasks[:i], ex.resultTasks[i+1:]...)
+			break
+		}
+	}
+	return t.result
+}
+
+// trySteal attempts to steal one task, rotating over victims starting after
+// this vproc. On success the stolen task's environment is promoted out of
+// the victim's heap (lazy promotion at steal time).
+func (vp *VProc) trySteal() *Task {
+	rt := vp.rt
+	n := len(rt.VProcs)
+	for k := 1; k < n; k++ {
+		victim := rt.VProcs[(vp.ID+k)%n]
+		vp.advance(rt.Cfg.StealAttemptNs)
+		if victim.heapBusy || victim.queue.size() == 0 {
+			continue
+		}
+		// Lock out the victim's collections BEFORE unlinking the task:
+		// once popped, the environment is no longer in the victim's
+		// root set, so the victim must not collect until the thief has
+		// promoted it.
+		victim.heapBusy = true
+		t := victim.queue.popTop()
+		vp.advance(rt.Cfg.StealHitNs)
+		vp.Stats.Steals++
+		// Lazy promotion: the stolen environment must move to the
+		// global heap before it crosses vprocs (§3.1). The thief
+		// performs the copy out of the victim's heap.
+		if rt.Cfg.LazyPromotion {
+			for i, a := range t.env {
+				t.env[i] = vp.promoteFrom(victim, a)
+			}
+		}
+		victim.heapBusy = false
+		return t
+	}
+	vp.Stats.FailedSteals++
+	return nil
+}
+
+// findWork returns the next task to run: own queue first, then stealing.
+func (vp *VProc) findWork() *Task {
+	if t := vp.queue.popBottom(); t != nil {
+		return t
+	}
+	return vp.trySteal()
+}
+
+// checkPreempt services a pending preemption signal outside allocation
+// sites (scheduler loop, join spins). The pending flag is consulted
+// directly as well as the limit pointer so that no interleaving of local
+// collections with a global request can drop the signal.
+func (vp *VProc) checkPreempt() {
+	if vp.Local.LimitZeroed() {
+		vp.Local.RestoreLimit()
+	}
+	if vp.rt.global.pending {
+		vp.participateGlobal()
+	}
+}
+
+// ServiceScheduler lets mutator code that is waiting on an external
+// condition (e.g. a channel receive) make progress: it services pending
+// preemption signals, runs one available task if any, and otherwise
+// advances one poll interval. Spin loops built on it cannot stall the
+// stop-the-world protocol.
+func (vp *VProc) ServiceScheduler() {
+	vp.checkPreempt()
+	if t := vp.findWork(); t != nil {
+		vp.runTask(t)
+		return
+	}
+	vp.advance(vp.rt.Cfg.PollNs)
+}
+
+// schedulerLoop drives the vproc until the runtime has no outstanding
+// tasks. Every iteration is a safepoint for pending global collections.
+func (vp *VProc) schedulerLoop() {
+	rt := vp.rt
+	for {
+		vp.checkPreempt()
+		if t := vp.findWork(); t != nil {
+			vp.runTask(t)
+			continue
+		}
+		if rt.outstanding == 0 {
+			// Do not exit with a global collection pending: the
+			// stop-the-world barrier needs every vproc.
+			if rt.global.pending {
+				vp.participateGlobal()
+				continue
+			}
+			return
+		}
+		vp.advance(rt.Cfg.PollNs)
+	}
+}
+
+// Join waits for t to complete. If the task is still in this vproc's own
+// queue it is run inline (the common fork-join fast path); if it was stolen,
+// the vproc works on other tasks (or polls) until the thief finishes it.
+func (vp *VProc) Join(t *Task) {
+	if !t.done && vp.queue.removeTask(t) {
+		vp.runTask(t)
+		return
+	}
+	for !t.done {
+		vp.checkPreempt()
+		if other := vp.findWork(); other != nil {
+			vp.runTask(other)
+			continue
+		}
+		vp.advance(vp.rt.Cfg.PollNs)
+	}
+}
+
+// ForkJoin spawns right as a stealable task, runs left inline, then joins.
+// Both closures receive their captured references through Env so the
+// runtime can move them safely.
+func (vp *VProc) ForkJoin(left, right func(vp *VProc, env Env), leftEnv, rightEnv []heap.Addr) {
+	t := vp.Spawn(right, rightEnv...)
+	base := len(vp.roots)
+	vp.roots = append(vp.roots, leftEnv...)
+	left(vp, Env{base: base, n: len(leftEnv)})
+	vp.roots = vp.roots[:base]
+	vp.Join(t)
+}
+
+// ParallelRange recursively splits [lo, hi) until the range is at most
+// grain, then calls body on each block. The captured references in env are
+// promoted automatically when subranges are stolen.
+func (vp *VProc) ParallelRange(lo, hi, grain int, env []heap.Addr, body func(vp *VProc, lo, hi int, env Env)) {
+	if grain < 1 {
+		grain = 1
+	}
+	var split func(vp *VProc, lo, hi int, e Env)
+	split = func(vp *VProc, lo, hi int, e Env) {
+		if hi-lo <= grain {
+			body(vp, lo, hi, e)
+			return
+		}
+		mid := lo + (hi-lo)/2
+		// Snapshot current addresses for the spawned half.
+		snap := make([]heap.Addr, e.n)
+		for i := 0; i < e.n; i++ {
+			snap[i] = e.Get(vp, i)
+		}
+		t := vp.Spawn(func(vp *VProc, e Env) {
+			split(vp, mid, hi, e)
+		}, snap...)
+		split(vp, lo, mid, e)
+		vp.Join(t)
+	}
+	base := len(vp.roots)
+	vp.roots = append(vp.roots, env...)
+	split(vp, lo, hi, Env{base: base, n: len(env)})
+	vp.roots = vp.roots[:base]
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+)
+
+func TestDequeOrdering(t *testing.T) {
+	var d deque
+	t1, t2, t3 := &Task{}, &Task{}, &Task{}
+	d.pushBottom(t1)
+	d.pushBottom(t2)
+	d.pushBottom(t3)
+	// Owner pops LIFO.
+	if d.popBottom() != t3 {
+		t.Error("popBottom should return the newest task")
+	}
+	// Thieves steal FIFO (the oldest — typically largest — task).
+	if d.popTop() != t1 {
+		t.Error("popTop should return the oldest task")
+	}
+	if d.size() != 1 {
+		t.Errorf("size = %d, want 1", d.size())
+	}
+	if !d.removeTask(t2) {
+		t.Error("removeTask failed for a queued task")
+	}
+	if d.removeTask(t2) {
+		t.Error("removeTask succeeded twice")
+	}
+	if d.popBottom() != nil || d.popTop() != nil {
+		t.Error("empty deque should return nil")
+	}
+}
+
+func TestForkJoinRunsBothSides(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(2))
+	var left, right bool
+	rt.Run(func(vp *VProc) {
+		vp.ForkJoin(
+			func(vp *VProc, _ Env) { left = true; vp.Compute(100) },
+			func(vp *VProc, _ Env) { right = true; vp.Compute(100) },
+			nil, nil)
+	})
+	if !left || !right {
+		t.Errorf("forkjoin: left=%v right=%v", left, right)
+	}
+}
+
+func TestJoinResultInlineStaysLocal(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	rt.Run(func(vp *VProc) {
+		task := vp.SpawnResult(func(vp *VProc, _ Env) heap.Addr {
+			return vp.AllocRaw([]uint64{77})
+		})
+		r := vp.JoinResult(task)
+		// Ran inline on the owner: the result must still be in the
+		// owner's local heap (no gratuitous promotion).
+		if rt.Space.Region(r.RegionID()).Kind != heap.RegionLocal {
+			t.Error("inline task result was promoted")
+		}
+		rs := vp.PushRoot(r)
+		if vp.LoadWord(vp.Root(rs), 0) != 77 {
+			t.Error("result payload wrong")
+		}
+		vp.PopRoots(1)
+	})
+}
+
+func TestJoinResultStolenIsPromoted(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(2))
+	var stolen bool
+	rt.Run(func(vp *VProc) {
+		task := vp.SpawnResult(func(tvp *VProc, _ Env) heap.Addr {
+			stolen = tvp.ID != 0
+			return tvp.AllocRaw([]uint64{88})
+		})
+		vp.Compute(1_000_000) // give vproc 1 time to steal
+		r := vp.JoinResult(task)
+		rs := vp.PushRoot(r)
+		if vp.LoadWord(vp.Root(rs), 0) != 88 {
+			t.Error("result payload wrong")
+		}
+		if stolen && rt.Space.Region(vp.Resolve(vp.Root(rs)).RegionID()).Kind != heap.RegionChunk {
+			t.Error("stolen task result was not promoted")
+		}
+		vp.PopRoots(1)
+	})
+	if !stolen {
+		t.Skip("scheduler kept the task local; promotion path not exercised")
+	}
+}
+
+func TestResultSurvivesExecutorGC(t *testing.T) {
+	// A completed-but-unjoined result must be a GC root of its executor.
+	rt := MustNewRuntime(stressConfig(1))
+	rt.Run(func(vp *VProc) {
+		task := vp.SpawnResult(func(vp *VProc, _ Env) heap.Addr {
+			return vp.AllocRaw([]uint64{4242})
+		})
+		// Run it inline via Join, then churn before reading the result.
+		vp.Join(task)
+		churn(vp, 2000, 4)
+		r := vp.JoinResult(task)
+		rs := vp.PushRoot(r)
+		if got := vp.LoadWord(vp.Root(rs), 0); got != 4242 {
+			t.Errorf("result after churn = %d, want 4242", got)
+		}
+		vp.PopRoots(1)
+	})
+}
+
+func TestMakeEnv(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	rt.Run(func(vp *VProc) {
+		a := vp.AllocRaw([]uint64{5})
+		env := vp.MakeEnv(a)
+		churn(vp, 1000, 4) // move a via collections
+		got := vp.LoadWord(env.Get(vp, 0), 0)
+		if got != 5 {
+			t.Errorf("env value after GC = %d, want 5", got)
+		}
+		env.Set(vp, 0, 0)
+		if env.Get(vp, 0) != 0 {
+			t.Error("env.Set did not stick")
+		}
+		vp.PopRoots(1)
+	})
+}
+
+func TestEnvBoundsChecks(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	rt.Run(func(vp *VProc) {
+		env := vp.MakeEnv(0)
+		defer vp.PopRoots(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-range Env.Get")
+			}
+		}()
+		env.Get(vp, 1)
+	})
+}
+
+func TestEagerPromotionAblation(t *testing.T) {
+	cfg := stressConfig(1)
+	cfg.LazyPromotion = false
+	rt := MustNewRuntime(cfg)
+	rt.Run(func(vp *VProc) {
+		a := buildTree(vp, 3, 1)
+		s := vp.PushRoot(a)
+		task := vp.Spawn(func(vp *VProc, env Env) {
+			// Even unstolen, eager promotion moved the environment
+			// to the global heap at spawn time.
+			r := vp.rt.Space.Region(vp.Resolve(env.Get(vp, 0)).RegionID())
+			if r.Kind != heap.RegionChunk {
+				t.Error("eager promotion did not promote at spawn")
+			}
+		}, vp.Root(s))
+		vp.Join(task)
+		vp.PopRoots(1)
+	})
+	if rt.TotalStats().PromotedWords == 0 {
+		t.Error("eager promotion promoted nothing")
+	}
+}
+
+func TestServiceSchedulerRunsTasks(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	rt.Run(func(vp *VProc) {
+		var ran bool
+		vp.Spawn(func(vp *VProc, _ Env) { ran = true })
+		for !ran {
+			vp.ServiceScheduler()
+		}
+	})
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(4))
+	rt.Run(func(vp *VProc) {
+		for i := 0; i < 16; i++ {
+			vp.Spawn(func(vp *VProc, _ Env) {
+				churn(vp, 200, 4)
+			})
+		}
+	})
+	total := rt.TotalStats()
+	if total.TasksRun != 17 { // 16 + the entry task
+		t.Errorf("TasksRun = %d, want 17", total.TasksRun)
+	}
+	if total.AllocWords == 0 || total.MinorGCs == 0 {
+		t.Error("expected allocation and minor GCs")
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/numa"
+	"repro/internal/vtime"
+)
+
+// VProc is a virtual processor (§2.2): an abstraction of a computational
+// resource hosted by its own (virtual) thread pinned to a physical core,
+// with a private local heap, a current global-heap chunk, and a local work
+// queue.
+type VProc struct {
+	ID   int
+	Core int
+	Node int
+
+	rt    *Runtime
+	proc  *vtime.Proc
+	Local *heap.LocalHeap
+
+	// curChunk is the vproc's current global-heap chunk (§3.1).
+	curChunk *heap.Chunk
+
+	// roots is the shadow root stack. Workloads address roots by slot
+	// index because collections rewrite the entries in place.
+	roots []heap.Addr
+
+	// queue is the vproc-local work deque; queued tasks' environments
+	// are GC roots.
+	queue deque
+
+	// proxies holds the global-heap addresses of proxy objects owned by
+	// this vproc; their local slots are additional local-GC roots.
+	proxies []heap.Addr
+
+	// resultTasks holds completed result-producing tasks this vproc
+	// executed whose results have not been joined yet; the results are
+	// GC roots of this vproc.
+	resultTasks []*Task
+
+	// scanningChunk is the to-space chunk this vproc is currently
+	// stepping through during a global collection; if it fills and is
+	// replaced mid-step, the re-enqueue is deferred until the step
+	// completes (deferredEnqueue) so no second vproc scans it
+	// concurrently.
+	scanningChunk   *heap.Chunk
+	deferredEnqueue bool
+
+	// heapBusy is the virtual lock coordinating thieves with local
+	// collections: set while this vproc's local heap is being collected
+	// or while a thief is promoting out of it.
+	heapBusy bool
+
+	// rng is a per-vproc deterministic PRNG for workload use.
+	rng uint64
+
+	Stats VPStats
+}
+
+// VPStats collects per-vproc runtime statistics.
+type VPStats struct {
+	MinorGCs        int
+	MajorGCs        int
+	Promotions      int
+	MinorCopied     int64 // words
+	MajorCopied     int64 // words
+	PromotedWords   int64
+	GCNs            int64 // virtual time in local collections
+	GlobalNs        int64 // virtual time in global collections
+	TasksRun        int64
+	Steals          int64
+	FailedSteals    int64
+	AllocWords      int64
+	ChunksRequested int64
+}
+
+// Runtimer accessors.
+
+// Runtime returns the owning runtime.
+func (vp *VProc) Runtime() *Runtime { return vp.rt }
+
+// Now returns the vproc's virtual clock (ns).
+func (vp *VProc) Now() int64 { return vp.proc.Now() }
+
+// advance charges virtual time.
+func (vp *VProc) advance(d int64) { vp.proc.Advance(d) }
+
+// Compute charges ns of pure computation.
+func (vp *VProc) Compute(ns int64) {
+	if ns > 0 {
+		vp.proc.Advance(ns)
+	}
+}
+
+// Rand returns a deterministic pseudo-random uint64 (xorshift64*).
+func (vp *VProc) Rand() uint64 {
+	x := vp.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	vp.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// --- Root stack ---------------------------------------------------------
+
+// PushRoot registers a heap address as a GC root and returns its slot.
+func (vp *VProc) PushRoot(a heap.Addr) int {
+	vp.roots = append(vp.roots, a)
+	return len(vp.roots) - 1
+}
+
+// Root reads a root slot (collections may have rewritten it).
+func (vp *VProc) Root(slot int) heap.Addr { return vp.roots[slot] }
+
+// SetRoot overwrites a root slot.
+func (vp *VProc) SetRoot(slot int, a heap.Addr) { vp.roots[slot] = a }
+
+// PopRoots discards the top n root slots.
+func (vp *VProc) PopRoots(n int) {
+	if n > len(vp.roots) {
+		panic("core: PopRoots underflow")
+	}
+	vp.roots = vp.roots[:len(vp.roots)-n]
+}
+
+// RootDepth returns the current root-stack depth, for save/restore.
+func (vp *VProc) RootDepth() int { return len(vp.roots) }
+
+// TruncateRoots resets the root stack to a saved depth.
+func (vp *VProc) TruncateRoots(depth int) { vp.roots = vp.roots[:depth] }
+
+// --- Allocation ---------------------------------------------------------
+
+// safepoint is executed before every allocation: it services pending
+// preemption signals (global collection requests, §3.4 step 2), waits out a
+// thief that is promoting from this heap, and runs minor/major collections
+// until the requested payload fits in the nursery.
+func (vp *VProc) safepoint(needWords int) {
+	for {
+		for vp.heapBusy {
+			// A thief is promoting out of our heap; spin in
+			// virtual time.
+			vp.advance(vp.rt.Cfg.SpinNs)
+		}
+		if vp.Local.LimitZeroed() {
+			vp.Local.RestoreLimit()
+		}
+		if vp.rt.global.pending {
+			vp.participateGlobal()
+			// A new signal can arrive at any time; re-check from
+			// the top.
+			continue
+		}
+		if vp.Local.CanAlloc(needWords) {
+			return
+		}
+		vp.minorGC()
+		// A minor collection triggers a major collection when the new
+		// nursery falls below threshold or a global GC is pending
+		// (§3.3); minorGC handles that. A global request arriving
+		// during the collection re-zeroes the limit, so only a clean
+		// post-collection failure means the object is too large.
+		if !vp.Local.CanAlloc(needWords) && !vp.Local.LimitZeroed() && !vp.rt.global.pending {
+			panic(fmt.Sprintf("core: object of %d words cannot fit vproc %d nursery (%d words); use smaller leaves",
+				needWords, vp.ID, vp.Local.NurseryWords()))
+		}
+	}
+}
+
+// chargeAllocCost accounts the memory traffic of initializing a fresh
+// object in the nursery.
+func (vp *VProc) chargeAllocCost(words int) {
+	node := vp.rt.Space.NodeOf(heap.MakeAddr(vp.Local.Region.ID, vp.Local.Alloc-1))
+	c := vp.rt.Machine.AccessCost(vp.Now(), vp.Core, node, words*8, numa.AccessCache)
+	vp.advance(vp.rt.Cfg.AllocFixedNs + c)
+	vp.Stats.AllocWords += int64(words)
+}
+
+// AllocRaw allocates a raw-data object with the given payload words.
+func (vp *VProc) AllocRaw(payload []uint64) heap.Addr {
+	vp.safepoint(len(payload))
+	a := vp.Local.Bump(heap.MakeHeader(heap.IDRaw, len(payload)))
+	copy(vp.rt.Space.Payload(a), payload)
+	vp.chargeAllocCost(len(payload) + 1)
+	return a
+}
+
+// AllocRawN allocates a zeroed raw-data object of n words.
+func (vp *VProc) AllocRawN(n int) heap.Addr {
+	vp.safepoint(n)
+	a := vp.Local.Bump(heap.MakeHeader(heap.IDRaw, n))
+	vp.chargeAllocCost(n + 1)
+	return a
+}
+
+// AllocVector allocates a vector-of-pointers object. The element addresses
+// are taken from root slots (not raw addresses) because the safepoint may
+// move them.
+func (vp *VProc) AllocVector(rootSlots []int) heap.Addr {
+	vp.safepoint(len(rootSlots))
+	a := vp.Local.Bump(heap.MakeHeader(heap.IDVector, len(rootSlots)))
+	p := vp.rt.Space.Payload(a)
+	for i, s := range rootSlots {
+		p[i] = uint64(vp.roots[s])
+	}
+	vp.chargeAllocCost(len(rootSlots) + 1)
+	return a
+}
+
+// AllocVectorN allocates a vector of n nil pointers.
+func (vp *VProc) AllocVectorN(n int) heap.Addr {
+	vp.safepoint(n)
+	a := vp.Local.Bump(heap.MakeHeader(heap.IDVector, n))
+	vp.chargeAllocCost(n + 1)
+	return a
+}
+
+// AllocMixed allocates a mixed-type object with the given descriptor ID.
+// rawFields supplies the non-pointer payload; ptrSlots maps payload offsets
+// to root slots for the pointer fields.
+func (vp *VProc) AllocMixed(id uint16, rawFields map[int]uint64, ptrSlots map[int]int) heap.Addr {
+	d := vp.rt.Descs.Lookup(id)
+	vp.safepoint(d.SizeWords)
+	a := vp.Local.Bump(heap.MakeHeader(id, d.SizeWords))
+	p := vp.rt.Space.Payload(a)
+	for i, w := range rawFields {
+		p[i] = w
+	}
+	for i, s := range ptrSlots {
+		p[i] = uint64(vp.roots[s])
+	}
+	vp.chargeAllocCost(d.SizeWords + 1)
+	return a
+}
+
+// --- Field access -------------------------------------------------------
+
+// isOwnLocal reports whether the address lies in this vproc's local heap.
+func (vp *VProc) isOwnLocal(a heap.Addr) bool {
+	return a.RegionID() == vp.Local.Region.ID
+}
+
+// accessKind classifies a load target for the cost model: the vproc's own
+// local heap is sized to fit L3 and is charged at cache cost when its pages
+// are node-local.
+func (vp *VProc) accessKind(a heap.Addr) numa.AccessKind {
+	if vp.isOwnLocal(a) {
+		return numa.AccessCache
+	}
+	return numa.AccessMemory
+}
+
+// chase resolves forwarding: a mutator may hold a stale pointer to an
+// object that was promoted (a forwarding pointer in the local heap). The
+// real runtime never observes these because roots are rewritten, but
+// workload code holding addresses across promotions uses Resolve.
+func (vp *VProc) resolve(a heap.Addr) heap.Addr {
+	for a != 0 {
+		h := vp.rt.Space.Header(a)
+		if heap.IsHeader(h) {
+			return a
+		}
+		a = heap.ForwardTarget(h)
+	}
+	return a
+}
+
+// Resolve follows forwarding pointers to the object's current address.
+func (vp *VProc) Resolve(a heap.Addr) heap.Addr { return vp.resolve(a) }
+
+// LoadWord reads payload word i of the object at a, charging a
+// latency-bound access.
+func (vp *VProc) LoadWord(a heap.Addr, i int) uint64 {
+	a = vp.resolve(a)
+	node := vp.rt.Space.NodeOf(a)
+	vp.advance(vp.rt.Machine.AccessCost(vp.Now(), vp.Core, node, 8, vp.accessKind(a)))
+	return vp.rt.Space.Payload(a)[i]
+}
+
+// LoadPtr reads pointer field i of the object at a.
+func (vp *VProc) LoadPtr(a heap.Addr, i int) heap.Addr {
+	return heap.Addr(vp.LoadWord(a, i))
+}
+
+// ReadBlock charges a streaming read of the whole object payload (one
+// latency plus bandwidth cost) and returns the payload slice.
+//
+// The returned slice aliases heap storage: it is invalidated by the
+// executing vproc's next allocation (a collection may move the object and
+// reuse its words). Copy it out before any allocating call.
+func (vp *VProc) ReadBlock(a heap.Addr) []uint64 {
+	a = vp.resolve(a)
+	node := vp.rt.Space.NodeOf(a)
+	n := vp.rt.Space.ObjectLen(a)
+	vp.advance(vp.rt.Machine.AccessCost(vp.Now(), vp.Core, node, n*8, vp.accessKind(a)))
+	return vp.rt.Space.Payload(a)
+}
+
+// ReadBlockCached is ReadBlock charged at cache cost regardless of where
+// the object lives; workloads use it to model re-reads of data that is
+// resident in the local cache hierarchy (e.g. the upper levels of the
+// Barnes-Hut tree, or a matrix block being reused).
+func (vp *VProc) ReadBlockCached(a heap.Addr) []uint64 {
+	a = vp.resolve(a)
+	n := vp.rt.Space.ObjectLen(a)
+	t := vp.rt.Cfg.Topo
+	vp.advance(int64(t.CacheLat + float64(n*8)/t.CacheBW))
+	return vp.rt.Space.Payload(a)
+}
+
+// ObjectLen returns the payload length of the object at a.
+func (vp *VProc) ObjectLen(a heap.Addr) int { return vp.rt.Space.ObjectLen(vp.resolve(a)) }
+
+// HeaderID returns the object ID of the object at a.
+func (vp *VProc) HeaderID(a heap.Addr) uint16 {
+	return heap.HeaderID(vp.rt.Space.Header(vp.resolve(a)))
+}

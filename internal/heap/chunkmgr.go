@@ -1,0 +1,141 @@
+package heap
+
+// SyncClass describes the synchronization a chunk operation required, so
+// the runtime can charge an appropriate cost (§3.3: "This synchronization
+// is either node-local because it involves the reuse of a chunk of memory
+// or global if a new chunk needs to be requested from the system and
+// registered with the runtime").
+type SyncClass int
+
+const (
+	// SyncNodeLocal is a node-local free-list pop.
+	SyncNodeLocal SyncClass = iota
+	// SyncGlobal is a fresh system allocation plus runtime registration.
+	SyncGlobal
+)
+
+// ChunkManager owns the global heap's chunks: per-node free lists with
+// node-affine reuse, the set of active (data-bearing) chunks, and the
+// bookkeeping behind the global-GC trigger.
+type ChunkManager struct {
+	Space      *Space
+	ChunkWords int
+	// NodeAffine preserves node affinity on reuse (§3.1). Disabling it
+	// is an ablation: reuse then takes any free chunk regardless of
+	// node.
+	NodeAffine bool
+
+	freeByNode [][]*Chunk
+	active     []*Chunk
+	byRegion   map[int]*Chunk
+
+	// AllocatedWords counts words in active chunks; the global collection
+	// trigger compares this against a threshold (§3.4: "the number of
+	// vprocs times 32MB" in the paper, scaled in this reproduction).
+	AllocatedWords int
+
+	// Stats.
+	Created  int
+	Reused   int
+	Released int
+}
+
+// NewChunkManager creates a manager producing chunks of chunkWords words.
+func NewChunkManager(s *Space, chunkWords, numNodes int) *ChunkManager {
+	if chunkWords < 64 {
+		panic("heap: chunk size too small")
+	}
+	return &ChunkManager{
+		Space:      s,
+		ChunkWords: chunkWords,
+		NodeAffine: true,
+		freeByNode: make([][]*Chunk, numNodes),
+		byRegion:   make(map[int]*Chunk),
+	}
+}
+
+// Get hands out a chunk for the vproc on reqNode, reusing a node-local free
+// chunk when possible. It returns the chunk and the synchronization class
+// the operation required.
+func (m *ChunkManager) Get(reqNode, owner int) (*Chunk, SyncClass) {
+	if fl := m.freeByNode[reqNode]; len(fl) > 0 {
+		c := fl[len(fl)-1]
+		m.freeByNode[reqNode] = fl[:len(fl)-1]
+		c.reset(owner)
+		m.activate(c)
+		m.Reused++
+		return c, SyncNodeLocal
+	}
+	if !m.NodeAffine {
+		// Ablation: take any free chunk, ignoring node affinity.
+		for n := range m.freeByNode {
+			if fl := m.freeByNode[n]; len(fl) > 0 {
+				c := fl[len(fl)-1]
+				m.freeByNode[n] = fl[:len(fl)-1]
+				c.reset(owner)
+				m.activate(c)
+				m.Reused++
+				return c, SyncNodeLocal
+			}
+		}
+	}
+	// Fresh allocation: pages placed by the policy on behalf of reqNode.
+	r := m.Space.NewRegion(RegionChunk, owner, m.ChunkWords, reqNode)
+	c := &Chunk{Region: r, Top: 1, Scan: 1, Owner: owner}
+	// The chunk's home node is where its first page actually landed
+	// (under interleaved placement this differs from reqNode).
+	c.Node = m.Space.Pages.NodeOfWord(r.BasePage, 0)
+	m.byRegion[r.ID] = c
+	m.activate(c)
+	m.Created++
+	return c, SyncGlobal
+}
+
+// ChunkOf returns the chunk backed by the given region ID, or nil if the
+// region is not a chunk region.
+func (m *ChunkManager) ChunkOf(regionID int) *Chunk {
+	return m.byRegion[regionID]
+}
+
+// activate adds a chunk to the active set and the trigger accounting.
+func (m *ChunkManager) activate(c *Chunk) {
+	m.active = append(m.active, c)
+	m.AllocatedWords += m.ChunkWords
+}
+
+// Release returns a chunk to its node's free list. It is called on
+// from-space chunks after a global collection, whose words were already
+// removed from the trigger accounting by TakeActive.
+func (m *ChunkManager) Release(c *Chunk) {
+	m.freeByNode[c.Node] = append(m.freeByNode[c.Node], c)
+	m.Released++
+}
+
+// Active returns the active chunk list (shared slice; callers must not
+// mutate).
+func (m *ChunkManager) Active() []*Chunk { return m.active }
+
+// TakeActive removes and returns all active chunks, used by the global
+// collector to form the from-space set.
+func (m *ChunkManager) TakeActive() []*Chunk {
+	a := m.active
+	m.active = nil
+	m.AllocatedWords = 0
+	return a
+}
+
+// Reactivate puts surviving to-space chunks back into the active set.
+func (m *ChunkManager) Reactivate(cs []*Chunk) {
+	for _, c := range cs {
+		m.activate(c)
+	}
+}
+
+// FreeCount returns the number of free chunks per node.
+func (m *ChunkManager) FreeCount() []int {
+	out := make([]int, len(m.freeByNode))
+	for i, fl := range m.freeByNode {
+		out[i] = len(fl)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/mempage"
+)
+
+func newTestManager(policy mempage.Policy, nodes int) *ChunkManager {
+	s := NewSpace(mempage.NewTable(policy, nodes))
+	return NewChunkManager(s, 256, nodes)
+}
+
+func TestChunkGetFreshIsGlobalSync(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 4)
+	c, sync := m.Get(2, 7)
+	if sync != SyncGlobal {
+		t.Errorf("fresh chunk sync = %v, want SyncGlobal", sync)
+	}
+	if c.Node != 2 {
+		t.Errorf("fresh chunk node = %d, want 2 (local policy)", c.Node)
+	}
+	if c.Owner != 7 {
+		t.Errorf("owner = %d, want 7", c.Owner)
+	}
+	if m.Created != 1 || m.Reused != 0 {
+		t.Errorf("counters: created=%d reused=%d", m.Created, m.Reused)
+	}
+}
+
+func TestChunkNodeAffineReuse(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 4)
+	c, _ := m.Get(1, 0)
+	m.TakeActive()
+	m.Release(c)
+
+	// Same node: reuse, node-local sync.
+	r, sync := m.Get(1, 5)
+	if r != c || sync != SyncNodeLocal {
+		t.Errorf("same-node Get: reused=%v sync=%v", r == c, sync)
+	}
+	m.TakeActive()
+	m.Release(r)
+
+	// Different node with affinity on: a fresh chunk, not node 1's.
+	o, sync2 := m.Get(3, 5)
+	if o == c || sync2 != SyncGlobal {
+		t.Error("node-affine manager reused a remote chunk")
+	}
+}
+
+func TestChunkAffinityAblation(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 4)
+	m.NodeAffine = false
+	c, _ := m.Get(1, 0)
+	m.TakeActive()
+	m.Release(c)
+	// Affinity off: any free chunk is fair game.
+	o, sync := m.Get(3, 5)
+	if o != c || sync != SyncNodeLocal {
+		t.Error("non-affine manager should reuse the remote free chunk")
+	}
+}
+
+func TestChunkTriggerAccounting(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 2)
+	if m.AllocatedWords != 0 {
+		t.Fatal("fresh manager should have zero allocation")
+	}
+	m.Get(0, 0)
+	m.Get(1, 1)
+	if m.AllocatedWords != 2*m.ChunkWords {
+		t.Errorf("AllocatedWords = %d, want %d", m.AllocatedWords, 2*m.ChunkWords)
+	}
+	from := m.TakeActive()
+	if len(from) != 2 || m.AllocatedWords != 0 {
+		t.Errorf("TakeActive: %d chunks, %d words left", len(from), m.AllocatedWords)
+	}
+	// Releasing from-space chunks must not go below zero.
+	for _, c := range from {
+		m.Release(c)
+	}
+	if m.AllocatedWords != 0 {
+		t.Errorf("Release changed trigger accounting: %d", m.AllocatedWords)
+	}
+}
+
+func TestChunkResetClearsContents(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 2)
+	c, _ := m.Get(0, 0)
+	a := c.Bump(MakeHeader(IDRaw, 4))
+	for i := range m.Space.Payload(a) {
+		m.Space.Payload(a)[i] = 0xFF
+	}
+	c.FromSpace = true
+	c.Scan = 3
+	m.TakeActive()
+	m.Release(c)
+	r, _ := m.Get(0, 1)
+	if r != c {
+		t.Fatal("expected reuse")
+	}
+	if r.Top != 1 || r.Scan != 1 || r.FromSpace {
+		t.Errorf("reset incomplete: top=%d scan=%d from=%v", r.Top, r.Scan, r.FromSpace)
+	}
+	for i, w := range r.Region.Words {
+		if w != 0 {
+			t.Fatalf("stale word %#x at %d after reset", w, i)
+		}
+	}
+}
+
+func TestChunkBumpAndOverflow(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 1)
+	c, _ := m.Get(0, 0)
+	if !c.CanAlloc(100) {
+		t.Fatal("fresh 256-word chunk should fit 100 words")
+	}
+	a := c.Bump(MakeHeader(IDRaw, 100))
+	if a.Word() != 2 {
+		t.Errorf("first object payload at word %d, want 2", a.Word())
+	}
+	if c.CanAlloc(200) {
+		t.Error("CanAlloc(200) should fail with 100+2 used of 256")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Bump past capacity should panic")
+		}
+	}()
+	c.Bump(MakeHeader(IDRaw, 200))
+}
+
+func TestChunkOfRegionLookup(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 1)
+	c, _ := m.Get(0, 0)
+	if m.ChunkOf(c.Region.ID) != c {
+		t.Error("ChunkOf failed for chunk region")
+	}
+	if m.ChunkOf(99999) != nil {
+		t.Error("ChunkOf should return nil for unknown region")
+	}
+}
+
+func TestInterleavedChunkNodeFollowsPages(t *testing.T) {
+	// Under interleaved placement the chunk's home node is wherever its
+	// first page landed, not the requesting node.
+	m := newTestManager(mempage.PolicyInterleaved, 4)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		c, _ := m.Get(0, 0)
+		seen[c.Node] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("interleaved chunks all landed on %v; want spread", seen)
+	}
+}
+
+func TestFreeCount(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 3)
+	a, _ := m.Get(0, 0)
+	b, _ := m.Get(2, 0)
+	m.TakeActive()
+	m.Release(a)
+	m.Release(b)
+	fc := m.FreeCount()
+	if fc[0] != 1 || fc[1] != 0 || fc[2] != 1 {
+		t.Errorf("FreeCount = %v, want [1 0 1]", fc)
+	}
+}

@@ -1,0 +1,131 @@
+package heap
+
+import "fmt"
+
+// Descriptor describes one mixed-type object layout. In Manticore the
+// compiler emits, for every mixed-type object, an entry in an
+// object-descriptor table containing pointers to object-scanning and
+// forwarding functions specialized to that object's structure (§3.2). We
+// mirror that: Register generates a scan closure from the pointer-field
+// offsets once, so scanning an object at collection time touches only its
+// pointer fields with no per-field type dispatch.
+type Descriptor struct {
+	Name string
+	// SizeWords is the fixed payload size of objects with this
+	// descriptor.
+	SizeWords int
+	// PtrFields lists the payload word offsets that contain pointers.
+	PtrFields []int
+
+	scan ScanFunc
+}
+
+// ScanFunc visits every pointer slot of a payload. visit receives the slot
+// offset and may return a replacement pointer, which the scanner writes
+// back; this is exactly the shape a copying collector's forward function
+// needs.
+type ScanFunc func(payload []uint64, visit func(slot int, ptr Addr) Addr)
+
+// Table is the object-descriptor table generated "by the compiler" — in
+// this reproduction, by workload setup code registering its record layouts.
+type Table struct {
+	descs []*Descriptor // index 0 corresponds to IDFirstMixed
+}
+
+// NewTable creates an empty descriptor table.
+func NewTable() *Table { return &Table{} }
+
+// Register adds a descriptor and returns its object ID. The scan function
+// is generated here, once, from the pointer offsets.
+func (t *Table) Register(name string, sizeWords int, ptrFields []int) uint16 {
+	if sizeWords < 0 {
+		panic("heap: negative descriptor size")
+	}
+	for _, f := range ptrFields {
+		if f < 0 || f >= sizeWords {
+			panic(fmt.Sprintf("heap: descriptor %q pointer field %d out of range [0,%d)", name, f, sizeWords))
+		}
+	}
+	d := &Descriptor{Name: name, SizeWords: sizeWords, PtrFields: append([]int(nil), ptrFields...)}
+	// The "compiled" scanning function: a closure over the fixed offsets.
+	offs := d.PtrFields
+	d.scan = func(payload []uint64, visit func(slot int, ptr Addr) Addr) {
+		for _, i := range offs {
+			p := Addr(payload[i])
+			np := visit(i, p)
+			if np != p {
+				payload[i] = uint64(np)
+			}
+		}
+	}
+	t.descs = append(t.descs, d)
+	id := uint16(len(t.descs)-1) + IDFirstMixed
+	if uint64(id) > idMask {
+		panic("heap: descriptor table overflow")
+	}
+	return id
+}
+
+// Lookup returns the descriptor for a mixed object ID.
+func (t *Table) Lookup(id uint16) *Descriptor {
+	if id < IDFirstMixed || int(id-IDFirstMixed) >= len(t.descs) {
+		panic(fmt.Sprintf("heap: no descriptor for ID %d", id))
+	}
+	return t.descs[id-IDFirstMixed]
+}
+
+// Len returns the number of registered descriptors.
+func (t *Table) Len() int { return len(t.descs) }
+
+// Proxy payload layout (ID IDProxy). A proxy is a global-heap object that
+// stands for a local-heap object, allowing references from the global heap
+// back into a local heap (§3.1 footnote 1); used by the explicit-concurrency
+// (CML) constructs.
+const (
+	// ProxyOwnerSlot holds the owning vproc's ID (raw).
+	ProxyOwnerSlot = 0
+	// ProxyLocalSlot holds the local-heap address (a pointer into the
+	// owner's local heap; never traced by the global collector).
+	ProxyLocalSlot = 1
+	// ProxyGlobalSlot holds the promoted global copy once the proxied
+	// object has been promoted, or nil. Traced by the global collector.
+	ProxyGlobalSlot = 2
+	// ProxySizeWords is the proxy payload size.
+	ProxySizeWords = 3
+)
+
+// ScanObject visits the pointer slots of the object at a, dispatching on
+// the header ID: raw objects have none, vector objects are all pointers,
+// proxies expose only their global slot, and mixed objects use their
+// generated descriptor scan function. The paper notes the collector handles
+// raw and vector objects directly to avoid the table lookup; we follow the
+// same structure.
+func ScanObject(s *Space, t *Table, a Addr, visit func(slot int, ptr Addr) Addr) {
+	h := s.Header(a)
+	if !IsHeader(h) {
+		panic(fmt.Sprintf("heap: ScanObject of forwarded object %v", a))
+	}
+	id := HeaderID(h)
+	switch id {
+	case IDRaw:
+		// No pointers.
+	case IDVector:
+		payload := s.Payload(a)
+		for i, w := range payload {
+			p := Addr(w)
+			np := visit(i, p)
+			if np != p {
+				payload[i] = uint64(np)
+			}
+		}
+	case IDProxy:
+		payload := s.Payload(a)
+		p := Addr(payload[ProxyGlobalSlot])
+		np := visit(ProxyGlobalSlot, p)
+		if np != p {
+			payload[ProxyGlobalSlot] = uint64(np)
+		}
+	default:
+		t.Lookup(id).scan(s.Payload(a), visit)
+	}
+}

@@ -1,0 +1,150 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/mempage"
+)
+
+func newTestSpace() *Space {
+	return NewSpace(mempage.NewTable(mempage.PolicyLocal, 2))
+}
+
+func TestDescriptorRegisterAndScan(t *testing.T) {
+	tab := NewTable()
+	id := tab.Register("pair", 4, []int{1, 3})
+	if id != IDFirstMixed {
+		t.Fatalf("first descriptor ID = %d, want %d", id, IDFirstMixed)
+	}
+	d := tab.Lookup(id)
+	if d.Name != "pair" || d.SizeWords != 4 {
+		t.Fatalf("descriptor mangled: %+v", d)
+	}
+
+	s := newTestSpace()
+	r := s.NewRegion(RegionLocal, 0, 256, 0)
+	lh := NewLocalHeap(r)
+	obj := lh.Bump(MakeHeader(id, 4))
+	p := s.Payload(obj)
+	p[0] = 0xDEAD // raw
+	p[1] = uint64(MakeAddr(r.ID, 5))
+	p[2] = 0xBEEF // raw
+	p[3] = uint64(MakeAddr(r.ID, 9))
+
+	var visited []int
+	ScanObject(s, tab, obj, func(slot int, ptr Addr) Addr {
+		visited = append(visited, slot)
+		return ptr
+	})
+	if len(visited) != 2 || visited[0] != 1 || visited[1] != 3 {
+		t.Errorf("scan visited slots %v, want [1 3]", visited)
+	}
+	// Raw fields untouched.
+	if p[0] != 0xDEAD || p[2] != 0xBEEF {
+		t.Error("scan modified raw fields")
+	}
+}
+
+func TestDescriptorScanRewrites(t *testing.T) {
+	tab := NewTable()
+	id := tab.Register("one-ptr", 1, []int{0})
+	s := newTestSpace()
+	r := s.NewRegion(RegionLocal, 0, 128, 0)
+	lh := NewLocalHeap(r)
+	obj := lh.Bump(MakeHeader(id, 1))
+	old := MakeAddr(r.ID, 3)
+	nu := MakeAddr(r.ID, 7)
+	s.Payload(obj)[0] = uint64(old)
+	ScanObject(s, tab, obj, func(_ int, ptr Addr) Addr {
+		if ptr == old {
+			return nu
+		}
+		return ptr
+	})
+	if Addr(s.Payload(obj)[0]) != nu {
+		t.Error("scan did not write back the forwarded pointer")
+	}
+}
+
+func TestVectorScanVisitsEverySlot(t *testing.T) {
+	tab := NewTable()
+	s := newTestSpace()
+	r := s.NewRegion(RegionLocal, 0, 128, 0)
+	lh := NewLocalHeap(r)
+	obj := lh.Bump(MakeHeader(IDVector, 5))
+	var n int
+	ScanObject(s, tab, obj, func(slot int, ptr Addr) Addr {
+		if slot != n {
+			t.Errorf("slot order: got %d want %d", slot, n)
+		}
+		n++
+		return ptr
+	})
+	if n != 5 {
+		t.Errorf("vector scan visited %d slots, want 5", n)
+	}
+}
+
+func TestRawScanVisitsNothing(t *testing.T) {
+	tab := NewTable()
+	s := newTestSpace()
+	r := s.NewRegion(RegionLocal, 0, 128, 0)
+	lh := NewLocalHeap(r)
+	obj := lh.Bump(MakeHeader(IDRaw, 6))
+	ScanObject(s, tab, obj, func(slot int, ptr Addr) Addr {
+		t.Errorf("raw object scanned slot %d", slot)
+		return ptr
+	})
+}
+
+func TestProxyScanVisitsOnlyGlobalSlot(t *testing.T) {
+	tab := NewTable()
+	s := newTestSpace()
+	r := s.NewRegion(RegionChunk, 0, 128, 0)
+	c := &Chunk{Region: r, Top: 1, Scan: 1}
+	obj := c.Bump(MakeHeader(IDProxy, ProxySizeWords))
+	p := s.Payload(obj)
+	p[ProxyOwnerSlot] = 3
+	p[ProxyLocalSlot] = uint64(MakeAddr(0, 9)) // local ref: must not be traced
+	p[ProxyGlobalSlot] = 0
+	var slots []int
+	ScanObject(s, tab, obj, func(slot int, ptr Addr) Addr {
+		slots = append(slots, slot)
+		return ptr
+	})
+	if len(slots) != 1 || slots[0] != ProxyGlobalSlot {
+		t.Errorf("proxy scan visited %v, want only slot %d", slots, ProxyGlobalSlot)
+	}
+}
+
+func TestDescriptorValidation(t *testing.T) {
+	tab := NewTable()
+	for _, c := range []struct {
+		name string
+		size int
+		ptrs []int
+	}{
+		{"neg size", -1, nil},
+		{"field out of range", 2, []int{2}},
+		{"negative field", 2, []int{-1}},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tab.Register(c.name, c.size, c.ptrs)
+		})
+	}
+}
+
+func TestLookupUnknownIDPanics(t *testing.T) {
+	tab := NewTable()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown descriptor")
+		}
+	}()
+	tab.Lookup(IDFirstMixed)
+}

@@ -1,0 +1,83 @@
+// Package heap implements the Manticore heap object model: 64-bit header
+// words (Figure 1 of the paper), forwarding pointers, raw/vector/mixed
+// objects with a compiler-style object-descriptor table, heap regions backed
+// by simulated physical pages, Appel semi-generational local heaps
+// (Figures 2-3), and global-heap chunks with NUMA node affinity (§3.1).
+package heap
+
+import "fmt"
+
+// Figure 1: the header word of mixed-type, raw, and vector heap objects.
+//
+//	bits 63..16  object length (48 bits, in words)
+//	bits 15..1   ID (15 bits)
+//	bit  0       always 1 (distinguishes headers from forwarding pointers)
+//
+// A forwarding pointer overwrites the header word with the forwarded address
+// shifted left one bit, so its low bit is 0.
+const (
+	headerTagBit = 1
+	idShift      = 1
+	idBits       = 15
+	idMask       = (1 << idBits) - 1
+	lenShift     = 16
+	lenBits      = 48
+	maxLen       = (1 << lenBits) - 1
+)
+
+// Reserved object IDs. The paper reserves two IDs for raw and vector data
+// (§3.2); all other IDs index the object-descriptor table. We additionally
+// reserve an ID for object proxies (§3.1, footnote 1).
+const (
+	// IDInvalid is never a valid object ID.
+	IDInvalid uint16 = 0
+	// IDRaw marks raw-data objects (no pointers, e.g. strings, float
+	// payloads).
+	IDRaw uint16 = 1
+	// IDVector marks vectors of pointers: every payload word is a
+	// pointer or nil.
+	IDVector uint16 = 2
+	// IDProxy marks object proxies, the special objects that allow
+	// references from the global heap back into a local heap.
+	IDProxy uint16 = 3
+	// IDFirstMixed is the first ID available to mixed-type descriptors.
+	IDFirstMixed uint16 = 4
+)
+
+// MakeHeader builds a header word from an object ID and payload length in
+// words.
+func MakeHeader(id uint16, lenWords int) uint64 {
+	if id == IDInvalid || uint64(id) > idMask {
+		panic(fmt.Sprintf("heap: invalid object ID %d", id))
+	}
+	if lenWords < 0 || uint64(lenWords) > maxLen {
+		panic(fmt.Sprintf("heap: invalid object length %d", lenWords))
+	}
+	return uint64(lenWords)<<lenShift | uint64(id)<<idShift | headerTagBit
+}
+
+// IsHeader reports whether the word is a header (low bit set) rather than a
+// forwarding pointer.
+func IsHeader(w uint64) bool { return w&headerTagBit != 0 }
+
+// HeaderID extracts the 15-bit object ID.
+func HeaderID(w uint64) uint16 { return uint16(w >> idShift & idMask) }
+
+// HeaderLen extracts the 48-bit payload length in words.
+func HeaderLen(w uint64) int { return int(w >> lenShift) }
+
+// MakeForward builds a forwarding word pointing at the object's new address.
+func MakeForward(a Addr) uint64 {
+	if a == 0 {
+		panic("heap: forwarding to nil")
+	}
+	return uint64(a) << 1
+}
+
+// ForwardTarget extracts the forwarded address from a forwarding word.
+func ForwardTarget(w uint64) Addr {
+	if IsHeader(w) {
+		panic("heap: ForwardTarget of a header word")
+	}
+	return Addr(w >> 1)
+}

@@ -1,0 +1,81 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderLayoutMatchesFigure1(t *testing.T) {
+	// Figure 1: 48-bit length in the high bits, 15-bit ID, low bit 1.
+	h := MakeHeader(IDRaw, 7)
+	if h&1 != 1 {
+		t.Fatalf("header low bit must be 1, got %#x", h)
+	}
+	if got := HeaderID(h); got != IDRaw {
+		t.Fatalf("HeaderID = %d, want %d", got, IDRaw)
+	}
+	if got := HeaderLen(h); got != 7 {
+		t.Fatalf("HeaderLen = %d, want 7", got)
+	}
+	// The ID occupies bits 15..1.
+	h2 := MakeHeader(0x7FFF, 0)
+	if got := HeaderID(h2); got != 0x7FFF {
+		t.Fatalf("max ID round-trip = %#x, want 0x7fff", got)
+	}
+	if got := HeaderLen(h2); got != 0 {
+		t.Fatalf("len bleed from max ID: %d", got)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(id uint16, ln uint32) bool {
+		id = id%0x7FFE + 1 // valid IDs are 1..0x7fff
+		h := MakeHeader(id, int(ln))
+		return IsHeader(h) && HeaderID(h) == id && HeaderLen(h) == int(ln)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardingWordProperty(t *testing.T) {
+	f := func(region uint16, word uint32) bool {
+		a := MakeAddr(int(region), int(word))
+		w := MakeForward(a)
+		return !IsHeader(w) && ForwardTarget(w) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeHeaderPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		id   uint16
+		ln   int
+	}{
+		{"invalid id", IDInvalid, 1},
+		{"negative len", IDRaw, -1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			MakeHeader(c.id, c.ln)
+		})
+	}
+}
+
+func TestAddrEncoding(t *testing.T) {
+	f := func(region uint16, word uint32) bool {
+		a := MakeAddr(int(region), int(word))
+		return a != 0 && a.RegionID() == int(region) && a.Word() == int(word)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

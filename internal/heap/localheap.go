@@ -1,0 +1,150 @@
+package heap
+
+import "fmt"
+
+// LocalHeap is one vproc's private heap, organized per Appel's
+// semi-generational scheme (§3.3, Figures 2-3): a fixed-size region split
+// into an old-data area at the bottom and a nursery at the top, with the
+// old-data area further partitioned into "old" data and "young" data (the
+// objects copied in by the most recent minor collection).
+//
+// Word layout (indices into Region.Words):
+//
+//	[1, YoungStart)        old data (candidates for the next major GC)
+//	[YoungStart, OldTop)   young data (just copied; never promoted by the
+//	                       immediately following major GC, §3.3)
+//	[OldTop, NurseryStart) reserve: target space for the next minor GC
+//	[NurseryStart, Alloc)  newly allocated data
+//	[Alloc, Limit)         free nursery space
+//
+// Limit is the allocation-limit pointer; the runtime zeroes it to force the
+// vproc to a safepoint (§3.4).
+type LocalHeap struct {
+	Region *Region
+
+	YoungStart   int
+	OldTop       int
+	NurseryStart int
+	Alloc        int
+	Limit        int
+
+	// realLimit preserves the nursery end while Limit is zeroed for a
+	// preemption signal.
+	realLimit int
+}
+
+// NewLocalHeap carves a fresh local heap out of a region: the whole free
+// space is empty old area, and the nursery occupies the upper half.
+func NewLocalHeap(r *Region) *LocalHeap {
+	h := &LocalHeap{Region: r, YoungStart: 1, OldTop: 1}
+	h.resetNursery()
+	return h
+}
+
+// resetNursery recomputes the nursery as the upper half of the free space
+// above OldTop (Figure 2: "the remaining free space in the local heap is
+// divided in half and the upper half will be used as the new nursery").
+func (h *LocalHeap) resetNursery() {
+	free := len(h.Region.Words) - h.OldTop
+	// The reserve (lower half) must be able to absorb a completely live
+	// nursery (upper half), so round the split point up.
+	h.NurseryStart = h.OldTop + (free+1)/2
+	h.Alloc = h.NurseryStart
+	// Preserve a pending preemption signal: a collection that finishes
+	// while a global GC request is in flight must not clobber the zeroed
+	// limit pointer.
+	signaled := h.Limit == 0 && h.realLimit > 0
+	h.realLimit = len(h.Region.Words)
+	if signaled {
+		h.Limit = 0
+	} else {
+		h.Limit = h.realLimit
+	}
+}
+
+// ResetNursery recomputes the nursery split after a collection phase has
+// adjusted OldTop.
+func (h *LocalHeap) ResetNursery() { h.resetNursery() }
+
+// NurseryWords returns the capacity of the current nursery in words.
+func (h *LocalHeap) NurseryWords() int { return h.realLimit - h.NurseryStart }
+
+// FreeNurseryWords returns the unallocated nursery words.
+func (h *LocalHeap) FreeNurseryWords() int {
+	if h.Alloc > h.realLimit {
+		return 0
+	}
+	return h.realLimit - h.Alloc
+}
+
+// CanAlloc reports whether an object with the given payload size fits in
+// the remaining nursery (header word included). It consults the true limit,
+// not the possibly-zeroed signal limit.
+func (h *LocalHeap) CanAlloc(payloadWords int) bool {
+	return h.Alloc+payloadWords+1 <= h.Limit
+}
+
+// Bump allocates an object with the given header in the nursery and returns
+// its address. The payload is zeroed: nursery words are recycled across
+// collections, and unspecified pointer fields must read as nil. The caller
+// must have checked CanAlloc against the true limit; allocation into a
+// zeroed Limit is the safepoint trap and is the runtime layer's job to
+// catch.
+func (h *LocalHeap) Bump(header uint64) Addr {
+	n := HeaderLen(header)
+	words := h.Region.Words
+	words[h.Alloc] = header
+	payload := words[h.Alloc+1 : h.Alloc+1+n]
+	for i := range payload {
+		payload[i] = 0
+	}
+	a := MakeAddr(h.Region.ID, h.Alloc+1)
+	h.Alloc += n + 1
+	return a
+}
+
+// ZeroLimit sets the allocation-limit pointer to zero, the signal that
+// forces the vproc into garbage-collection code at its next allocation
+// check (§3.4 step 2).
+func (h *LocalHeap) ZeroLimit() { h.Limit = 0 }
+
+// LimitZeroed reports whether a preemption signal is pending.
+func (h *LocalHeap) LimitZeroed() bool { return h.Limit == 0 }
+
+// RestoreLimit clears the preemption signal.
+func (h *LocalHeap) RestoreLimit() { h.Limit = h.realLimit }
+
+// InNursery reports whether the address lies in the nursery.
+func (h *LocalHeap) InNursery(a Addr) bool {
+	return a.RegionID() == h.Region.ID && a.Word() >= h.NurseryStart
+}
+
+// InOld reports whether the address lies in the old-data area (old or
+// young partition).
+func (h *LocalHeap) InOld(a Addr) bool {
+	return a.RegionID() == h.Region.ID && a.Word() < h.OldTop
+}
+
+// Contains reports whether the address lies anywhere in this local heap.
+func (h *LocalHeap) Contains(a Addr) bool {
+	return a.RegionID() == h.Region.ID
+}
+
+// LiveWords returns the words currently occupied by data.
+func (h *LocalHeap) LiveWords() int {
+	return (h.OldTop - 1) + (h.Alloc - h.NurseryStart)
+}
+
+// check validates the layout invariants; used by tests and debug mode.
+func (h *LocalHeap) check() error {
+	if !(1 <= h.YoungStart && h.YoungStart <= h.OldTop &&
+		h.OldTop <= h.NurseryStart && h.NurseryStart <= h.Alloc &&
+		h.Alloc <= h.realLimit && h.realLimit <= len(h.Region.Words)) {
+		return fmt.Errorf("heap: local heap layout broken: young=%d oldTop=%d nursery=%d alloc=%d limit=%d size=%d",
+			h.YoungStart, h.OldTop, h.NurseryStart, h.Alloc, h.realLimit, len(h.Region.Words))
+	}
+	return nil
+}
+
+// CheckLayout exposes the layout validation.
+func (h *LocalHeap) CheckLayout() error { return h.check() }

@@ -1,0 +1,152 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/mempage"
+)
+
+// Addr is a simulated heap address: it points at the first payload word of
+// an object; the header word sits immediately below it. Addr 0 is nil.
+//
+// Encoding: bits 63..36 hold regionID+1, bits 35..0 hold the word index
+// within the region. The +1 keeps address 0 invalid.
+type Addr uint64
+
+const (
+	addrRegionShift = 36
+	addrWordMask    = (1 << addrRegionShift) - 1
+)
+
+// MakeAddr builds an address from a region ID and word index.
+func MakeAddr(region int, word int) Addr {
+	return Addr(uint64(region+1)<<addrRegionShift | uint64(word))
+}
+
+// RegionID extracts the region ID.
+func (a Addr) RegionID() int { return int(uint64(a)>>addrRegionShift) - 1 }
+
+// Word extracts the word index within the region.
+func (a Addr) Word() int { return int(uint64(a) & addrWordMask) }
+
+// String formats the address for diagnostics.
+func (a Addr) String() string {
+	if a == 0 {
+		return "nil"
+	}
+	return fmt.Sprintf("r%d+%d", a.RegionID(), a.Word())
+}
+
+// RegionKind classifies heap regions.
+type RegionKind int
+
+const (
+	// RegionLocal backs one vproc's local heap.
+	RegionLocal RegionKind = iota
+	// RegionChunk backs one global-heap chunk.
+	RegionChunk
+)
+
+// Region is a contiguous run of heap words backed by simulated physical
+// pages. Word 0 of every region is kept unused so that no object payload
+// starts at index 0 and every object's header index is valid.
+type Region struct {
+	ID       int
+	Kind     RegionKind
+	Owner    int // owning vproc for RegionLocal, allocating vproc for chunks
+	Words    []uint64
+	BasePage int
+}
+
+// Space is the registry of all heap regions plus the simulated page table.
+type Space struct {
+	Pages   *mempage.Table
+	regions []*Region
+}
+
+// NewSpace creates an empty heap address space over the given page table.
+func NewSpace(pages *mempage.Table) *Space {
+	return &Space{Pages: pages}
+}
+
+// NewRegion allocates a region of the given size in words, with backing
+// pages placed by the page-table policy on behalf of reqNode.
+func (s *Space) NewRegion(kind RegionKind, owner, words, reqNode int) *Region {
+	if words <= 1 {
+		panic("heap: region too small")
+	}
+	r := &Region{
+		ID:       len(s.regions),
+		Kind:     kind,
+		Owner:    owner,
+		Words:    make([]uint64, words),
+		BasePage: s.Pages.Alloc(mempage.PagesFor(words), reqNode),
+	}
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// Region returns the region with the given ID.
+func (s *Space) Region(id int) *Region { return s.regions[id] }
+
+// NumRegions returns the number of regions ever created.
+func (s *Space) NumRegions() int { return len(s.regions) }
+
+// RegionOf returns the region containing the address.
+func (s *Space) RegionOf(a Addr) *Region {
+	id := a.RegionID()
+	if id < 0 || id >= len(s.regions) {
+		panic(fmt.Sprintf("heap: address %v in unknown region", a))
+	}
+	return s.regions[id]
+}
+
+// NodeOf returns the home NUMA node of the page backing the address.
+func (s *Space) NodeOf(a Addr) int {
+	r := s.RegionOf(a)
+	return s.Pages.NodeOfWord(r.BasePage, a.Word())
+}
+
+// Load reads the word at the address. This is the raw accessor; cost
+// accounting happens in the runtime layer.
+func (s *Space) Load(a Addr) uint64 {
+	return s.RegionOf(a).Words[a.Word()]
+}
+
+// Store writes the word at the address.
+func (s *Space) Store(a Addr, w uint64) {
+	s.RegionOf(a).Words[a.Word()] = w
+}
+
+// Header returns the header (or forwarding) word of the object at a.
+func (s *Space) Header(a Addr) uint64 {
+	return s.RegionOf(a).Words[a.Word()-1]
+}
+
+// SetHeader overwrites the header word of the object at a (used to install
+// forwarding pointers).
+func (s *Space) SetHeader(a Addr, w uint64) {
+	s.RegionOf(a).Words[a.Word()-1] = w
+}
+
+// ObjectLen returns the payload length in words of the object at a,
+// following a forwarding pointer if present.
+func (s *Space) ObjectLen(a Addr) int {
+	h := s.Header(a)
+	if !IsHeader(h) {
+		return s.ObjectLen(ForwardTarget(h))
+	}
+	return HeaderLen(h)
+}
+
+// Payload returns the object's payload words as a slice aliasing the region
+// storage.
+func (s *Space) Payload(a Addr) []uint64 {
+	r := s.RegionOf(a)
+	w := a.Word()
+	h := r.Words[w-1]
+	if !IsHeader(h) {
+		panic(fmt.Sprintf("heap: Payload of forwarded object %v", a))
+	}
+	return r.Words[w : w+HeaderLen(h)]
+}

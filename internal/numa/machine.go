@@ -1,0 +1,223 @@
+package numa
+
+import "fmt"
+
+// AccessKind distinguishes accesses that are likely to be served by the
+// node-local cache hierarchy from ones that must go to memory.
+type AccessKind int
+
+const (
+	// AccessCache marks traffic against a vproc's own local heap, which
+	// is sized to fit in L3 (§3.1): when the backing pages are on the
+	// issuing core's node it is charged at cache cost.
+	AccessCache AccessKind = iota
+	// AccessMemory marks traffic that must reach DRAM (global heap,
+	// first-touch streaming, remote data).
+	AccessMemory
+)
+
+// Machine couples a Topology with dynamic contention state. It charges a
+// cost, in virtual nanoseconds, for every modelled memory transfer.
+//
+// Contention model: each node's memory controller and each node's remote
+// ingress path have a byte budget per epoch (bandwidth x epoch length).
+// Traffic beyond the budget stretches service time proportionally, which is
+// how the model reproduces the bus saturation the paper observes when all
+// nodes hammer socket zero (§4.3). Callers are serialized by the
+// virtual-time engine and present non-decreasing timestamps.
+type Machine struct {
+	Topo *Topology
+
+	// EpochNs is the contention accounting window.
+	EpochNs int64
+
+	ctrl   []meter // per-node memory-controller demand
+	remote []meter // per-node ingress demand from other packages
+
+	stats TrafficStats
+}
+
+// lineBytes is the cache-line transfer granularity used for contention
+// accounting.
+const lineBytes = 64
+
+// meter tracks demand against a byte budget within the current epoch.
+type meter struct {
+	epoch int64
+	bytes float64
+}
+
+// TrafficStats aggregates modelled traffic, for reports and tests.
+type TrafficStats struct {
+	BytesByPath [3]uint64 // indexed by PathKind
+	CacheBytes  uint64
+	Accesses    uint64
+}
+
+// NewMachine wraps a topology with fresh contention state.
+func NewMachine(t *Topology) *Machine {
+	return &Machine{
+		Topo:    t,
+		EpochNs: 50_000,
+		ctrl:    make([]meter, t.NumNodes()),
+		remote:  make([]meter, t.NumNodes()),
+	}
+}
+
+// Reset clears contention state and traffic statistics.
+func (m *Machine) Reset() {
+	for i := range m.ctrl {
+		m.ctrl[i] = meter{}
+		m.remote[i] = meter{}
+	}
+	m.stats = TrafficStats{}
+}
+
+// Stats returns a copy of the accumulated traffic statistics.
+func (m *Machine) Stats() TrafficStats { return m.stats }
+
+// charge adds demand to a meter and returns the congestion multiplier in
+// effect for this transfer: 1 when the epoch budget is unused, growing
+// linearly with the demand already queued this epoch.
+func (mt *meter) charge(now int64, epochNs int64, bytes, budget float64) float64 {
+	e := now / epochNs
+	if e != mt.epoch {
+		// Carry half of the residual overload into the new epoch so a
+		// saturated controller does not reset to "idle" at an epoch
+		// boundary mid-burst.
+		over := mt.bytes - budget
+		mt.epoch = e
+		if over > 0 {
+			mt.bytes = over / 2
+		} else {
+			mt.bytes = 0
+		}
+	}
+	mult := 1.0
+	if mt.bytes > budget {
+		mult += (mt.bytes - budget) / budget
+	}
+	mt.bytes += bytes
+	return mult
+}
+
+// AccessCost returns the virtual-ns cost of a transfer of the given number
+// of bytes between the issuing core and memory homed on memNode, and
+// accounts the traffic for contention purposes. now is the issuing vproc's
+// current virtual time.
+func (m *Machine) AccessCost(now int64, core, memNode, bytes int, kind AccessKind) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	t := m.Topo
+	if memNode < 0 || memNode >= t.NumNodes() {
+		panic(fmt.Sprintf("numa: access to invalid node %d", memNode))
+	}
+	m.stats.Accesses++
+	path := t.Path(core, memNode)
+
+	if kind == AccessCache && path == PathLocal {
+		m.stats.CacheBytes += uint64(bytes)
+		return int64(t.CacheLat + float64(bytes)/t.CacheBW)
+	}
+	m.stats.BytesByPath[path] += uint64(bytes)
+
+	bw := t.Bandwidth(path)
+	lat := t.Latency(path)
+	budget := t.LocalBW * float64(m.EpochNs)
+
+	// Demand is accounted at cache-line granularity: a random 8-byte
+	// load still moves a full line across the interconnect, which is
+	// what saturates links under scattered shared-data access (SMVM's
+	// vector, the Barnes-Hut tree).
+	demand := float64(bytes)
+	if demand < lineBytes {
+		demand = lineBytes
+	}
+
+	// Memory-controller contention at the home node applies to every
+	// DRAM access.
+	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, budget)
+
+	// Remote transfers additionally contend for the target node's
+	// ingress links, whose budget is the remote path bandwidth.
+	if path == PathRemote {
+		rbudget := t.RemoteBW * float64(m.EpochNs)
+		rm := m.remote[memNode].charge(now, m.EpochNs, demand, rbudget)
+		if rm > mult {
+			mult = rm
+		}
+	}
+
+	// The transfer term is line-granular and scaled by the congestion
+	// multiplier; under saturation the multiplier also applies to the
+	// base latency, modelling queueing at the saturated controller or
+	// link. This is what makes scattered access to one node's memory
+	// stop scaling (the SMVM vector, §4.2-4.3).
+	if mult > 1 {
+		return int64((lat + demand/bw) * mult)
+	}
+	return int64(lat + demand/bw)
+}
+
+// CopyCost returns the cost of copying bytes from memory homed on srcNode to
+// memory homed on dstNode, as performed by the given core (the GC copy
+// loop): a read from the source plus a write to the destination.
+func (m *Machine) CopyCost(now int64, core, srcNode, dstNode, bytes int, srcKind, dstKind AccessKind) int64 {
+	c := m.AccessCost(now, core, srcNode, bytes, srcKind)
+	c += m.AccessCost(now+c, core, dstNode, bytes, dstKind)
+	return c
+}
+
+// StreamCost is AccessCost without the per-access latency: the cost model
+// for the object-at-a-time copy loops of the collector, whose consecutive
+// accesses are contiguous and prefetched. Contention accounting is
+// identical to AccessCost.
+func (m *Machine) StreamCost(now int64, core, memNode, bytes int, kind AccessKind) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	t := m.Topo
+	m.stats.Accesses++
+	path := t.Path(core, memNode)
+	if kind == AccessCache && path == PathLocal {
+		m.stats.CacheBytes += uint64(bytes)
+		return int64(float64(bytes) / t.CacheBW)
+	}
+	m.stats.BytesByPath[path] += uint64(bytes)
+	bw := t.Bandwidth(path)
+	budget := t.LocalBW * float64(m.EpochNs)
+	demand := float64(bytes)
+	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, budget)
+	if path == PathRemote {
+		rbudget := t.RemoteBW * float64(m.EpochNs)
+		if rm := m.remote[memNode].charge(now, m.EpochNs, demand, rbudget); rm > mult {
+			mult = rm
+		}
+	}
+	return int64(float64(bytes) / bw * mult)
+}
+
+// CopyStreamCost is CopyCost with streaming (latency-free) accounting on
+// both sides.
+func (m *Machine) CopyStreamCost(now int64, core, srcNode, dstNode, bytes int, srcKind, dstKind AccessKind) int64 {
+	c := m.StreamCost(now, core, srcNode, bytes, srcKind)
+	c += m.StreamCost(now+c, core, dstNode, bytes, dstKind)
+	return c
+}
+
+// BandwidthTable formats Table 1 of the paper for this machine: the
+// theoretical bandwidth available between a single node and the rest of the
+// system.
+func (m *Machine) BandwidthTable() string {
+	t := m.Topo
+	s := fmt.Sprintf("Theoretical bandwidth, machine %s (GB/s)\n", t.Name)
+	s += fmt.Sprintf("  Local Memory            %5.1f\n", t.LocalBW)
+	if t.NodesPerPackage > 1 {
+		s += fmt.Sprintf("  Node in same package    %5.1f\n", t.SamePkgBW)
+	} else {
+		s += "  Node in same package      n/a\n"
+	}
+	s += fmt.Sprintf("  Node on another package %5.1f\n", t.RemoteBW)
+	return s
+}

@@ -1,0 +1,267 @@
+// Package numa models the memory hierarchy of multicore NUMA machines.
+//
+// The model follows Appendix A of the paper: a machine is a set of processor
+// packages, each containing one or more nodes (dies); every node has a set of
+// cores and an integrated memory controller attached to a private bank of
+// RAM. Nodes are connected by point-to-point links (HyperTransport on the
+// AMD machine, QPI on the Intel machine) whose bandwidth is lower than the
+// sum of the local memory links, which is what makes placement matter.
+//
+// Costs are expressed in virtual nanoseconds. The package is used from the
+// deterministic virtual-time engine, which serializes all callers, so the
+// contention accounting below is deliberately unsynchronized.
+package numa
+
+import "fmt"
+
+// PathKind classifies the route taken by a memory access relative to the
+// core that issues it.
+type PathKind int
+
+const (
+	// PathLocal is an access to the issuing core's own node memory.
+	PathLocal PathKind = iota
+	// PathSamePackage is an access to the other node in the same package
+	// (only meaningful on machines with multi-node packages, such as the
+	// AMD Magny-Cours).
+	PathSamePackage
+	// PathRemote is an access to a node in a different package.
+	PathRemote
+)
+
+// String returns a human-readable name for the path kind.
+func (k PathKind) String() string {
+	switch k {
+	case PathLocal:
+		return "local"
+	case PathSamePackage:
+		return "same-package"
+	case PathRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("PathKind(%d)", int(k))
+	}
+}
+
+// Node describes one die: an integrated memory controller plus a set of
+// cores.
+type Node struct {
+	ID      int
+	Package int
+	Cores   []int
+}
+
+// Topology describes the static shape of a machine.
+type Topology struct {
+	// Name identifies the preset (e.g. "amd48").
+	Name string
+	// GHz is the core clock, used only for reporting.
+	GHz float64
+	// Packages counts processor sockets.
+	Packages int
+	// NodesPerPackage counts dies per socket.
+	NodesPerPackage int
+	// CoresPerNode counts cores per die.
+	CoresPerNode int
+
+	// Bandwidth in bytes per nanosecond (== GB/s) for each path kind,
+	// as in Table 1 of the paper.
+	LocalBW, SamePkgBW, RemoteBW float64
+	// Latency in nanoseconds for each path kind (model constants; the
+	// paper reports only bandwidths, so these are calibrated).
+	LocalLat, SamePkgLat, RemoteLat float64
+
+	// L3Bytes is the last-level cache per node; local heaps are sized to
+	// fit in it (§3.1).
+	L3Bytes int
+	// CacheBW and CacheLat model an L3 hit.
+	CacheBW  float64
+	CacheLat float64
+
+	nodes    []Node
+	coreNode []int
+}
+
+// build derives the node and core tables from the shape parameters.
+func (t *Topology) build() {
+	numNodes := t.Packages * t.NodesPerPackage
+	t.nodes = make([]Node, numNodes)
+	t.coreNode = make([]int, numNodes*t.CoresPerNode)
+	core := 0
+	for n := 0; n < numNodes; n++ {
+		nd := Node{ID: n, Package: n / t.NodesPerPackage}
+		for c := 0; c < t.CoresPerNode; c++ {
+			nd.Cores = append(nd.Cores, core)
+			t.coreNode[core] = n
+			core++
+		}
+		t.nodes[n] = nd
+	}
+}
+
+// NumNodes returns the number of NUMA nodes (dies) in the machine.
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// NumCores returns the total number of cores.
+func (t *Topology) NumCores() int { return len(t.coreNode) }
+
+// NodeOfCore returns the node that owns the given core.
+func (t *Topology) NodeOfCore(core int) int { return t.coreNode[core] }
+
+// Nodes returns the node table.
+func (t *Topology) Nodes() []Node { return t.nodes }
+
+// PackageOfNode returns the package (socket) containing the node.
+func (t *Topology) PackageOfNode(node int) int { return t.nodes[node].Package }
+
+// Path classifies an access from a core to memory homed on the given node.
+func (t *Topology) Path(core, memNode int) PathKind {
+	cn := t.coreNode[core]
+	switch {
+	case cn == memNode:
+		return PathLocal
+	case t.nodes[cn].Package == t.nodes[memNode].Package:
+		return PathSamePackage
+	default:
+		return PathRemote
+	}
+}
+
+// Bandwidth returns the available bandwidth (bytes/ns) for a path kind, as
+// reported in Table 1.
+func (t *Topology) Bandwidth(k PathKind) float64 {
+	switch k {
+	case PathLocal:
+		return t.LocalBW
+	case PathSamePackage:
+		return t.SamePkgBW
+	default:
+		return t.RemoteBW
+	}
+}
+
+// Latency returns the base latency (ns) for a path kind.
+func (t *Topology) Latency(k PathKind) float64 {
+	switch k {
+	case PathLocal:
+		return t.LocalLat
+	case PathSamePackage:
+		return t.SamePkgLat
+	default:
+		return t.RemoteLat
+	}
+}
+
+// SparseCoreAssignment returns n distinct cores spread as evenly as possible
+// across nodes, mirroring §2.2: "when there are less vprocs than processors,
+// they are assigned sparsely across the nodes to minimize contention on the
+// node-shared L3 cache".
+func (t *Topology) SparseCoreAssignment(n int) []int {
+	if n < 0 || n > t.NumCores() {
+		panic(fmt.Sprintf("numa: cannot assign %d vprocs to %d cores", n, t.NumCores()))
+	}
+	cores := make([]int, 0, n)
+	// Round-robin over nodes, taking the next unused core of each node.
+	taken := make([]int, t.NumNodes())
+	for len(cores) < n {
+		for nd := 0; nd < t.NumNodes() && len(cores) < n; nd++ {
+			if taken[nd] < len(t.nodes[nd].Cores) {
+				cores = append(cores, t.nodes[nd].Cores[taken[nd]])
+				taken[nd]++
+			}
+		}
+	}
+	return cores
+}
+
+// AMD48 returns the quad-socket AMD Opteron 6172 "Magny-Cours" machine from
+// Appendix A.1: 4 packages x 2 nodes x 6 cores at 2.1 GHz, with the Table 1
+// bandwidths (21.3 GB/s local, 19.2 GB/s to the node in the same package via
+// the intra-package HT3 links, 6.4 GB/s to nodes on other packages over an
+// 8-bit HT3 link). Each node has 6 MB L3 with 1 MB reserved for cross-node
+// probes, leaving 5 MB usable.
+func AMD48() *Topology {
+	t := &Topology{
+		Name:            "amd48",
+		GHz:             2.1,
+		Packages:        4,
+		NodesPerPackage: 2,
+		CoresPerNode:    6,
+		LocalBW:         21.3,
+		SamePkgBW:       19.2,
+		RemoteBW:        6.4,
+		LocalLat:        65,
+		SamePkgLat:      95,
+		RemoteLat:       135,
+		L3Bytes:         5 << 20,
+		CacheBW:         120,
+		CacheLat:        8,
+	}
+	t.build()
+	return t
+}
+
+// Intel32 returns the quad-socket Intel Xeon X7560 machine from Appendix
+// A.2: 4 packages x 1 node x 8 cores at 2.266 GHz, fully connected by
+// full-width QPI links. Table 1: 17.1 GB/s local, 25.6 GB/s between nodes
+// (the QPI links are faster than the local DDR3-1066 risers, which is why
+// the machine has a smaller NUMA penalty). Each node has 24 MB L3 with 3 MB
+// reserved, leaving 21 MB usable.
+func Intel32() *Topology {
+	t := &Topology{
+		Name:            "intel32",
+		GHz:             2.266,
+		Packages:        4,
+		NodesPerPackage: 1,
+		CoresPerNode:    8,
+		LocalBW:         17.1,
+		SamePkgBW:       17.1, // no second node in a package; unused
+		RemoteBW:        25.6,
+		LocalLat:        70,
+		SamePkgLat:      70,
+		RemoteLat:       110,
+		L3Bytes:         21 << 20,
+		CacheBW:         120,
+		CacheLat:        8,
+	}
+	t.build()
+	return t
+}
+
+// Custom builds an arbitrary machine; intended for tests and what-if
+// experiments.
+func Custom(name string, packages, nodesPerPackage, coresPerNode int, localBW, samePkgBW, remoteBW float64) *Topology {
+	if packages <= 0 || nodesPerPackage <= 0 || coresPerNode <= 0 {
+		panic("numa: Custom requires positive shape parameters")
+	}
+	t := &Topology{
+		Name:            name,
+		GHz:             2.0,
+		Packages:        packages,
+		NodesPerPackage: nodesPerPackage,
+		CoresPerNode:    coresPerNode,
+		LocalBW:         localBW,
+		SamePkgBW:       samePkgBW,
+		RemoteBW:        remoteBW,
+		LocalLat:        65,
+		SamePkgLat:      95,
+		RemoteLat:       135,
+		L3Bytes:         4 << 20,
+		CacheBW:         120,
+		CacheLat:        8,
+	}
+	t.build()
+	return t
+}
+
+// Preset returns a named preset topology.
+func Preset(name string) (*Topology, error) {
+	switch name {
+	case "amd48":
+		return AMD48(), nil
+	case "intel32":
+		return Intel32(), nil
+	default:
+		return nil, fmt.Errorf("numa: unknown machine preset %q (want amd48 or intel32)", name)
+	}
+}

@@ -1,0 +1,51 @@
+package vtime
+
+// Barrier synchronizes a fixed set of procs in virtual time. All arrivals
+// block until the last proc arrives; every participant then resumes with its
+// clock advanced to the latest arrival time plus SyncCost, modelling the
+// synchronization traffic of a stop-the-world rendezvous.
+type Barrier struct {
+	n        int
+	SyncCost int64
+
+	waiting []*Proc
+	maxT    int64
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int, syncCost int64) *Barrier {
+	if n <= 0 {
+		panic("vtime: barrier needs at least one participant")
+	}
+	return &Barrier{n: n, SyncCost: syncCost}
+}
+
+// Arrive enters the barrier. The last arriver releases everyone (including
+// itself) at max(arrival clocks) + SyncCost.
+func (b *Barrier) Arrive(p *Proc) {
+	e := p.eng
+	e.mu.Lock()
+	if p.clock > b.maxT {
+		b.maxT = p.clock
+	}
+	if len(b.waiting)+1 < b.n {
+		b.waiting = append(b.waiting, p)
+		p.state = Blocked
+		e.release()
+		e.mu.Unlock()
+		<-p.token
+		return
+	}
+	// Last arriver: release all waiters at the synchronized time.
+	t := b.maxT + b.SyncCost
+	for _, q := range b.waiting {
+		q.clock = t
+		q.state = Ready
+	}
+	b.waiting = b.waiting[:0]
+	b.maxT = 0
+	p.clock = t
+	// The last arriver keeps the token; the min-clock rule will schedule
+	// the released procs at its next Advance.
+	e.mu.Unlock()
+}

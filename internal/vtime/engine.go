@@ -1,0 +1,206 @@
+// Package vtime provides a deterministic virtual-time execution engine.
+//
+// Each virtual processor runs as a goroutine, but execution is serialized by
+// a token: at any moment exactly one proc executes "user" code, and the token
+// is always handed to the ready proc with the smallest virtual clock (ties
+// broken by proc ID). This makes every simulation run fully deterministic
+// regardless of the Go scheduler, while letting runtime and workload code be
+// written in ordinary direct style. All modelled work is charged through
+// Advance, whose call sites double as the safepoints of the simulated
+// runtime.
+package vtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// State is the scheduling state of a Proc.
+type State int
+
+const (
+	// Ready procs compete for the execution token.
+	Ready State = iota
+	// Blocked procs wait to be woken by a running proc.
+	Blocked
+	// Done procs have finished their body.
+	Done
+)
+
+// Proc is one serialized virtual processor.
+type Proc struct {
+	ID    int
+	eng   *Engine
+	clock int64
+	state State
+	token chan struct{}
+}
+
+// Engine coordinates a fixed set of procs.
+type Engine struct {
+	mu    sync.Mutex
+	procs []*Proc
+	wg    sync.WaitGroup
+	// started is set once Run has handed out the first token.
+	started bool
+}
+
+// NewEngine creates an engine with n procs, all Ready at clock zero.
+func NewEngine(n int) *Engine {
+	if n <= 0 {
+		panic("vtime: engine needs at least one proc")
+	}
+	e := &Engine{}
+	for i := 0; i < n; i++ {
+		e.procs = append(e.procs, &Proc{
+			ID:    i,
+			eng:   e,
+			state: Ready,
+			token: make(chan struct{}, 1),
+		})
+	}
+	return e
+}
+
+// NumProcs returns the number of procs.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Proc returns the i'th proc.
+func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
+
+// Run executes body on every proc and returns when all procs are Done.
+// It may be called once per engine.
+func (e *Engine) Run(body func(p *Proc)) {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		panic("vtime: Run called twice")
+	}
+	e.started = true
+	e.mu.Unlock()
+
+	for _, p := range e.procs {
+		e.wg.Add(1)
+		go func(p *Proc) {
+			defer e.wg.Done()
+			<-p.token // wait to be scheduled for the first time
+			body(p)
+			p.finish()
+		}(p)
+	}
+	// Hand the token to the initial minimum (proc 0: all clocks equal).
+	e.procs[0].token <- struct{}{}
+	e.wg.Wait()
+}
+
+// minReady returns the Ready proc with the smallest (clock, ID), or nil.
+// Caller holds e.mu.
+func (e *Engine) minReady() *Proc {
+	var best *Proc
+	for _, p := range e.procs {
+		if p.state != Ready {
+			continue
+		}
+		if best == nil || p.clock < best.clock || (p.clock == best.clock && p.ID < best.ID) {
+			best = p
+		}
+	}
+	return best
+}
+
+// release hands the token to the minimum ready proc. If no proc is ready but
+// some are blocked, the simulation has deadlocked, which is a programming
+// error in the layer above. Caller holds e.mu; release must be called by the
+// current token holder as it stops running.
+func (e *Engine) release() {
+	next := e.minReady()
+	if next != nil {
+		next.token <- struct{}{}
+		return
+	}
+	for _, p := range e.procs {
+		if p.state == Blocked {
+			// Unlock before panicking so a recovering caller can
+			// still finish (and tests can observe the panic).
+			e.mu.Unlock()
+			panic(fmt.Sprintf("vtime: deadlock — proc %d blocked with no ready proc", p.ID))
+		}
+	}
+	// All procs are Done; nothing to schedule.
+}
+
+// Now returns the proc's virtual clock in nanoseconds.
+func (p *Proc) Now() int64 { return p.clock }
+
+// Advance charges d nanoseconds of virtual time and reschedules: if another
+// ready proc now has a smaller clock, control transfers to it before Advance
+// returns. d must be non-negative.
+func (p *Proc) Advance(d int64) {
+	if d < 0 {
+		panic("vtime: negative advance")
+	}
+	e := p.eng
+	e.mu.Lock()
+	p.clock += d
+	next := e.minReady()
+	if next == p {
+		e.mu.Unlock()
+		return
+	}
+	next.token <- struct{}{}
+	e.mu.Unlock()
+	<-p.token
+}
+
+// Block suspends the proc until another proc calls Wake on it. The proc's
+// clock is advanced to at least the waker's clock. Block returns once the
+// proc is both woken and scheduled.
+func (p *Proc) Block() {
+	e := p.eng
+	e.mu.Lock()
+	p.state = Blocked
+	e.release()
+	e.mu.Unlock()
+	<-p.token
+}
+
+// Wake makes q ready again. It must be called by the running proc; q's clock
+// is advanced to the waker's clock so virtual time never flows backwards
+// across the wakeup edge. Waking a non-blocked proc panics.
+func (p *Proc) Wake(q *Proc) {
+	e := p.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if q.state != Blocked {
+		panic(fmt.Sprintf("vtime: proc %d woke proc %d which is not blocked", p.ID, q.ID))
+	}
+	if q.clock < p.clock {
+		q.clock = p.clock
+	}
+	q.state = Ready
+	// The waker keeps running; q will be scheduled by the min-clock rule
+	// at the waker's next Advance/Block.
+}
+
+// finish marks the proc Done and passes the token on.
+func (p *Proc) finish() {
+	e := p.eng
+	e.mu.Lock()
+	p.state = Done
+	e.release()
+	e.mu.Unlock()
+}
+
+// MaxClock returns the largest clock over all procs; after Run completes
+// this is the makespan of the simulation.
+func (e *Engine) MaxClock() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var mx int64
+	for _, p := range e.procs {
+		if p.clock > mx {
+			mx = p.clock
+		}
+	}
+	return mx
+}

@@ -1,0 +1,152 @@
+package vtime
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSerializedMinClockOrder(t *testing.T) {
+	e := NewEngine(3)
+	var order []int
+	e.Run(func(p *Proc) {
+		// Proc i advances by (i+1)*10 per step; the engine must always
+		// run the minimum-clock proc next.
+		for s := 0; s < 4; s++ {
+			order = append(order, p.ID)
+			p.Advance(int64((p.ID + 1) * 10))
+		}
+	})
+	// Hand-traced min-clock schedule (ties by ID). Each proc records
+	// before advancing, so the first three events are 0,1,2 at clock 0;
+	// then proc 0 (clock 10) runs twice to pass proc 1 (20), and so on.
+	want := []int{0, 1, 2, 0, 0, 1, 0, 2, 1, 1, 2, 2}
+	if len(order) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, order[i], want[i], order)
+		}
+	}
+}
+
+func TestAdvanceAccumulatesClock(t *testing.T) {
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Advance(5)
+		}
+		if p.Now() != 50 {
+			t.Errorf("proc %d clock = %d, want 50", p.ID, p.Now())
+		}
+	})
+	if e.MaxClock() != 50 {
+		t.Errorf("makespan = %d, want 50", e.MaxClock())
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	e := NewEngine(2)
+	var woken bool
+	e.Run(func(p *Proc) {
+		if p.ID == 1 {
+			p.Block()
+			woken = true
+			// Clock must have been advanced to at least the
+			// waker's clock.
+			if p.Now() < 100 {
+				t.Errorf("woken proc clock = %d, want >= 100", p.Now())
+			}
+			return
+		}
+		p.Advance(100)
+		p.Wake(e.Proc(1))
+		p.Advance(1)
+	})
+	if !woken {
+		t.Fatal("blocked proc never resumed")
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	e := NewEngine(4)
+	b := NewBarrier(4, 7)
+	e.Run(func(p *Proc) {
+		p.Advance(int64(p.ID) * 100) // arrive at different times
+		b.Arrive(p)
+		// Everyone resumes at max arrival (300) + sync cost (7).
+		if p.Now() != 307 {
+			t.Errorf("proc %d resumed at %d, want 307", p.ID, p.Now())
+		}
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := NewEngine(2)
+	b := NewBarrier(2, 1)
+	e.Run(func(p *Proc) {
+		for round := 0; round < 5; round++ {
+			p.Advance(int64(p.ID+1) * 3)
+			b.Arrive(p)
+		}
+	})
+	if e.Proc(0).Now() != e.Proc(1).Now() {
+		t.Errorf("clocks diverged after barrier rounds: %d vs %d", e.Proc(0).Now(), e.Proc(1).Now())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine(1)
+	var panicked atomic.Bool
+	e.Run(func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked.Store(true)
+			}
+		}()
+		p.Block() // nobody will ever wake us: must panic, not hang
+	})
+	if !panicked.Load() {
+		t.Fatal("expected deadlock panic")
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	e := NewEngine(1)
+	var panicked atomic.Bool
+	e.Run(func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked.Store(true)
+			}
+		}()
+		p.Advance(-1)
+	})
+	if !panicked.Load() {
+		t.Fatal("expected panic on negative advance")
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []int {
+		e := NewEngine(5)
+		var trace []int
+		e.Run(func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				trace = append(trace, p.ID)
+				// Pseudo-random but deterministic advances.
+				p.Advance(int64((p.ID*7+i*13)%23 + 1))
+			}
+		})
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

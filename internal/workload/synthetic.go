@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/heap"
+)
+
+// Synthetic (§4.1 mentions one synthetic benchmark alongside the five
+// ported programs): a pure allocation-churn workload with a controllable
+// survival fraction. Each task builds small trees; most die in the nursery
+// (exercising minor collections), a fraction survives into a per-task list
+// (exercising majors and promotions), and the shared tail forces global
+// collections. Used by the ablation benchmarks, where the GC behaviour must
+// dominate the measurement.
+
+const (
+	synBaseOps   = 6000 // tree builds per task at scale 1
+	synTreeDepth = 4
+	synKeepEvery = 20 // one tree in synKeepEvery survives
+)
+
+// RunSynthetic executes the benchmark; Check folds the surviving values.
+func RunSynthetic(rt *core.Runtime, scale float64) Result {
+	ops := scaled(synBaseOps, scale)
+	nv := rt.Cfg.NumVProcs
+	checks := make([]uint64, nv)
+	elapsed := rt.Run(func(vp *core.VProc) {
+		perTask := ops / nv
+		if perTask < 1 {
+			perTask = 1
+		}
+		for t := 0; t < nv; t++ {
+			t := t
+			vp.Spawn(func(vp *core.VProc, _ core.Env) {
+				checks[t] = synChurn(vp, uint64(t+1), perTask)
+			})
+		}
+	})
+	var check uint64
+	for _, c := range checks {
+		check = fnv1a(check, c)
+	}
+	return Result{ElapsedNs: elapsed, Check: check, Stats: rt.TotalStats()}
+}
+
+// synChurn performs the allocation loop and returns a checksum of the
+// survivors.
+func synChurn(vp *core.VProc, salt uint64, ops int) uint64 {
+	listSlot := vp.PushRoot(0)
+	for i := 0; i < ops; i++ {
+		tr := synTree(vp, synTreeDepth, salt+uint64(i))
+		if i%synKeepEvery == 0 {
+			ts := vp.PushRoot(tr)
+			cell := vp.AllocVector([]int{ts, listSlot})
+			vp.PopRoots(1)
+			vp.SetRoot(listSlot, cell)
+		}
+		vp.Compute(40)
+	}
+	// Fold the survivors.
+	var check uint64
+	a := vp.Root(listSlot)
+	for a != 0 {
+		a = vp.Resolve(a)
+		p := vp.ReadBlock(a)
+		check = fnv1a(check, synSum(vp, heap.Addr(p[0])))
+		a = heap.Addr(p[1])
+	}
+	vp.PopRoots(1)
+	return check
+}
+
+// synTree builds a small binary tree.
+func synTree(vp *core.VProc, depth int, val uint64) heap.Addr {
+	if depth == 0 {
+		return vp.AllocRaw([]uint64{val})
+	}
+	l := synTree(vp, depth-1, val*2+1)
+	ls := vp.PushRoot(l)
+	r := synTree(vp, depth-1, val*2+2)
+	rs := vp.PushRoot(r)
+	v := vp.AllocVector([]int{ls, rs})
+	vp.PopRoots(2)
+	return v
+}
+
+// synSum folds a tree.
+func synSum(vp *core.VProc, a heap.Addr) uint64 {
+	a = vp.Resolve(a)
+	if vp.HeaderID(a) == heap.IDRaw {
+		return vp.LoadWord(a, 0)
+	}
+	p := vp.ReadBlock(a)
+	l, r := heap.Addr(p[0]), heap.Addr(p[1])
+	return synSum(vp, l)*3 + synSum(vp, r)
+}
+
+// SyntheticSeq computes the reference checksum host-side.
+func SyntheticSeq(nvprocs int, scale float64) uint64 {
+	ops := scaled(synBaseOps, scale)
+	perTask := ops / nvprocs
+	if perTask < 1 {
+		perTask = 1
+	}
+	var hostTree func(depth int, val uint64) uint64
+	hostTree = func(depth int, val uint64) uint64 {
+		if depth == 0 {
+			return val
+		}
+		return hostTree(depth-1, val*2+1)*3 + hostTree(depth-1, val*2+2)
+	}
+	var check uint64
+	for t := 0; t < nvprocs; t++ {
+		salt := uint64(t + 1)
+		var tc uint64
+		// The list is folded newest-first.
+		for i := ((perTask - 1) / synKeepEvery) * synKeepEvery; i >= 0; i -= synKeepEvery {
+			tc = fnv1a(tc, hostTree(synTreeDepth, salt+uint64(i)))
+		}
+		check = fnv1a(check, tc)
+	}
+	return check
+}

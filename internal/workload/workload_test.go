@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/numa"
+)
+
+// testConfig builds a small-machine config for correctness tests.
+func testConfig(nvprocs int) core.Config {
+	topo := numa.Custom("wl-test", 2, 2, 2, 20, 15, 6)
+	cfg := core.DefaultConfig(topo, nvprocs)
+	cfg.LocalHeapWords = 8 << 10
+	cfg.ChunkWords = 2 << 10
+	return cfg
+}
+
+// runAt executes a benchmark at the given vproc count and scale.
+func runAt(t *testing.T, spec Spec, nv int, scale float64, debug bool) Result {
+	t.Helper()
+	cfg := testConfig(nv)
+	cfg.Debug = debug
+	rt := core.MustNewRuntime(cfg)
+	res := spec.Run(rt, scale)
+	if err := rt.VerifyHeap(); err != nil {
+		t.Fatalf("%s at %d vprocs: heap invariants: %v", spec.Name, nv, err)
+	}
+	return res
+}
+
+func TestQuicksortMatchesReference(t *testing.T) {
+	spec, _ := ByName("quicksort")
+	want := QuicksortSeq(testConfig(1).Seed, 0.25)
+	for _, nv := range []int{1, 3, 8} {
+		got := runAt(t, spec, nv, 0.25, nv == 3)
+		if got.Check != want {
+			t.Errorf("quicksort at %d vprocs: check %d, want %d", nv, got.Check, want)
+		}
+	}
+}
+
+func TestDMMMatchesReference(t *testing.T) {
+	spec, _ := ByName("dmm")
+	want := DMMSeq(0.5)
+	for _, nv := range []int{1, 4} {
+		got := runAt(t, spec, nv, 0.5, nv == 4)
+		if got.Check != want {
+			t.Errorf("dmm at %d vprocs: check %d, want %d", nv, got.Check, want)
+		}
+	}
+}
+
+func TestSMVMMatchesReference(t *testing.T) {
+	spec, _ := ByName("smvm")
+	want := SMVMSeq(0.25)
+	for _, nv := range []int{1, 4} {
+		got := runAt(t, spec, nv, 0.25, false)
+		if got.Check != want {
+			t.Errorf("smvm at %d vprocs: check %d, want %d", nv, got.Check, want)
+		}
+	}
+}
+
+func TestRaytracerMatchesReference(t *testing.T) {
+	spec, _ := ByName("raytracer")
+	want := RaytracerSeq(0.5)
+	for _, nv := range []int{1, 4} {
+		got := runAt(t, spec, nv, 0.5, false)
+		if got.Check != want {
+			t.Errorf("raytracer at %d vprocs: check %d, want %d", nv, got.Check, want)
+		}
+	}
+}
+
+func TestBarnesHutDeterministicAcrossVProcs(t *testing.T) {
+	spec, _ := ByName("barnes-hut")
+	// The parallel result must be schedule-independent: identical at
+	// every vproc count (pure computation over the same tree).
+	base := runAt(t, spec, 1, 0.25, false)
+	for _, nv := range []int{2, 6} {
+		got := runAt(t, spec, nv, 0.25, false)
+		if got.Check != base.Check {
+			t.Errorf("barnes-hut at %d vprocs: check %d, want %d", nv, got.Check, base.Check)
+		}
+	}
+}
+
+func TestSyntheticMatchesReference(t *testing.T) {
+	spec, _ := ByName("synthetic")
+	for _, nv := range []int{1, 4} {
+		want := SyntheticSeq(nv, 0.3)
+		got := runAt(t, spec, nv, 0.3, false)
+		if got.Check != want {
+			t.Errorf("synthetic at %d vprocs: check %d, want %d", nv, got.Check, want)
+		}
+	}
+}
+
+func TestWorkloadsExerciseTheCollector(t *testing.T) {
+	// Each workload must actually stress the machinery it claims to:
+	// allocation everywhere, minor GCs for the churners.
+	for _, name := range []string{"quicksort", "barnes-hut", "synthetic"} {
+		spec, _ := ByName(name)
+		res := runAt(t, spec, 4, 0.25, false)
+		if res.Stats.MinorGCs == 0 {
+			t.Errorf("%s: no minor collections", name)
+		}
+		if res.Stats.AllocWords == 0 {
+			t.Errorf("%s: no allocation", name)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	for _, s := range All() {
+		if got, err := ByName(s.Name); err != nil || got.Name != s.Name {
+			t.Errorf("ByName(%q) = %v, %v", s.Name, got.Name, err)
+		}
+	}
+}
+
+func TestBarnesHutPhysicsAgainstDirectSum(t *testing.T) {
+	// Validate the Barnes-Hut force approximation against a direct O(n^2)
+	// sum for one step on the host: the tree code and the physics share
+	// plummer() and the same constants, so a gross error here means the
+	// tree is wrong.
+	n := 256
+	bodies := plummer(testConfig(1).Seed, n)
+	// Direct accelerations.
+	type acc struct{ ax, ay float64 }
+	direct := make([]acc, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := bodies[j][bodyX] - bodies[i][bodyX]
+			dy := bodies[j][bodyY] - bodies[i][bodyY]
+			d2 := dx*dx + dy*dy + 1e-4
+			inv := 1 / sqrt64(d2)
+			f := bodies[j][bodyMass] * inv * inv * inv
+			direct[i].ax += f * dx
+			direct[i].ay += f * dy
+		}
+	}
+	// One simulated step at 1 vproc; compare positions to a host-side
+	// direct-sum step.
+	cfg := testConfig(1)
+	rt := core.MustNewRuntime(cfg)
+	d := RegisterBHDescs(rt)
+	var simX, simY []float64
+	rt.Run(func(vp *core.VProc) {
+		cur := vp.AllocGlobalVectorN(n)
+		curSlot := vp.PushRoot(cur)
+		for i := 0; i < n; i++ {
+			w := make([]uint64, bodyWords)
+			for k, f := range bodies[i] {
+				w[k] = f2w(f)
+			}
+			b := vp.AllocRaw(w)
+			bs := vp.PushRoot(b)
+			vp.StoreGlobalPtr(vp.Root(curSlot), i, bs)
+			vp.PopRoots(1)
+		}
+		rootSlot := vp.PushRoot(buildQuadtree(vp, d, curSlot, n))
+		vp.PromoteRoot(rootSlot)
+		next := vp.AllocGlobalVectorN(n)
+		nextSlot := vp.PushRoot(next)
+		for i := 0; i < n; i++ {
+			env := vp.MakeEnv(vp.Root(curSlot), vp.Root(rootSlot), vp.Root(nextSlot))
+			stepBody(vp, d, env, i)
+			vp.PopRoots(3)
+		}
+		for i := 0; i < n; i++ {
+			b := vp.LoadPtr(vp.Root(nextSlot), i)
+			p := vp.ReadBlock(b)
+			simX = append(simX, w2f(p[bodyX]))
+			simY = append(simY, w2f(p[bodyY]))
+		}
+		vp.PopRoots(3)
+	})
+	var worst float64
+	for i := 0; i < n; i++ {
+		vx := bodies[i][bodyVX] + direct[i].ax*bhDT
+		vy := bodies[i][bodyVY] + direct[i].ay*bhDT
+		wantX := bodies[i][bodyX] + vx*bhDT
+		wantY := bodies[i][bodyY] + vy*bhDT
+		dx, dy := simX[i]-wantX, simY[i]-wantY
+		err := sqrt64(dx*dx + dy*dy)
+		if err > worst {
+			worst = err
+		}
+	}
+	// theta=0.5 should approximate a single step to well under 1e-3 in
+	// these units.
+	if worst > 1e-3 {
+		t.Errorf("Barnes-Hut vs direct sum: worst position error %g > 1e-3", worst)
+	}
+}
+
+func sqrt64(x float64) float64 { return math.Sqrt(x) }
