@@ -8,18 +8,24 @@
 //	gcbench -figure 4 -scale 0.5      # Figure 4 at half workload scale
 //	gcbench -machine amd48 -policy interleaved -threads 1,8,48 -bench dmm
 //	gcbench -all                      # Figures 4-7
+//	gcbench -baseline BENCH_v1.json   # record a perf baseline (JSON)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/mempage"
 	"repro/internal/numa"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -30,10 +36,26 @@ func main() {
 		machine = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32)")
 		policy  = flag.String("policy", "local", "page placement policy (local, interleaved, single-node)")
 		threads = flag.String("threads", "", "comma-separated thread counts for custom sweeps")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: the five paper benchmarks)")
-		verbose = flag.Bool("v", false, "print per-run progress")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: the five paper benchmarks)")
+		verbose  = flag.Bool("v", false, "print per-run progress")
+		baseline = flag.String("baseline", "", "write a perf-baseline JSON (Figure 5-7 points at p=1/24/48) to this file")
 	)
 	flag.Parse()
+
+	if *baseline != "" {
+		// A baseline is only comparable across PRs when it is always
+		// recorded at the one fixed configuration, so reject any other
+		// configuration flag rather than silently ignoring it.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name != "baseline" && f.Name != "v" {
+				fatal(fmt.Errorf("-baseline uses a fixed configuration; remove -%s", f.Name))
+			}
+		})
+		if err := writeBaseline(*baseline); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	opt := bench.Options{Scale: *scale}
 	if *verbose {
@@ -89,4 +111,83 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gcbench:", err)
 	os.Exit(1)
+}
+
+// --- Baseline recording ---------------------------------------------------
+
+// BaselinePoint is one benchmark/policy/thread-count measurement. VirtualMs
+// is the simulation result (deterministic: it must stay bit-identical across
+// engine changes); WallNs is the host wall-clock per run (machine-dependent:
+// the perf trajectory later PRs compare against).
+type BaselinePoint struct {
+	Figure    int     `json:"figure"`
+	Benchmark string  `json:"benchmark"`
+	Policy    string  `json:"policy"`
+	Threads   int     `json:"threads"`
+	VirtualMs float64 `json:"virtual_ms"`
+	WallNs    int64   `json:"wall_ns"`
+}
+
+// Baseline is the on-disk format of BENCH_v1.json.
+type Baseline struct {
+	Version   int             `json:"version"`
+	Scale     float64         `json:"scale"`
+	GoVersion string          `json:"go_version"`
+	Date      string          `json:"date"`
+	Points    []BaselinePoint `json:"points"`
+}
+
+// baselineScale matches the benchScale used by `go test -bench .` so the
+// virtual-ms values in the baseline line up with the benchmark output.
+const baselineScale = 0.25
+
+// writeBaseline measures the Figure 5-7 suite at p=1/24/48 and writes the
+// JSON baseline.
+func writeBaseline(path string) error {
+	figures := []struct {
+		id     int
+		policy mempage.Policy
+	}{
+		{5, mempage.PolicyLocal},
+		{6, mempage.PolicyInterleaved},
+		{7, mempage.PolicySingleNode},
+	}
+	out := Baseline{
+		Version:   1,
+		Scale:     baselineScale,
+		GoVersion: runtime.Version(),
+		Date:      time.Now().UTC().Format("2006-01-02"),
+	}
+	topo := numa.AMD48()
+	for _, fig := range figures {
+		for _, name := range bench.FigureBenchmarks {
+			spec, err := workload.ByName(name)
+			if err != nil {
+				return err
+			}
+			for _, p := range []int{1, 24, 48} {
+				cfg := core.DefaultConfig(topo, p)
+				cfg.Policy = fig.policy
+				rt := core.MustNewRuntime(cfg)
+				start := time.Now()
+				res := spec.Run(rt, baselineScale)
+				wall := time.Since(start)
+				out.Points = append(out.Points, BaselinePoint{
+					Figure:    fig.id,
+					Benchmark: name,
+					Policy:    fig.policy.String(),
+					Threads:   p,
+					VirtualMs: float64(res.ElapsedNs) / 1e6,
+					WallNs:    wall.Nanoseconds(),
+				})
+				fmt.Fprintf(os.Stderr, "figure %d %s %s p=%d: %.4f virtual-ms, %s wall\n",
+					fig.id, name, fig.policy, p, float64(res.ElapsedNs)/1e6, wall)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,0 +1,88 @@
+package core_test
+
+// Determinism regression: the virtual-time engine contract is that a given
+// workload/configuration produces bit-identical virtual results on every
+// run, no matter how the Go scheduler interleaves the underlying goroutines.
+// This guards the engine's horizon fast path, ready-heap scheduling, and
+// inline-step optimizations (and any future perf work): those may only ever
+// change wall-clock time, never virtual time.
+//
+// The test lives in package core_test because the workloads import core.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mempage"
+	"repro/internal/numa"
+	"repro/internal/workload"
+)
+
+type runResult struct {
+	elapsedNs int64
+	makespan  int64
+	check     uint64
+	global    core.RTStats
+	perVProc  []core.VPStats
+}
+
+func runWorkloadOnce(t *testing.T, name string, nv int, policy mempage.Policy, scale float64) runResult {
+	t.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(numa.AMD48(), nv)
+	cfg.Policy = policy
+	rt := core.MustNewRuntime(cfg)
+	res := spec.Run(rt, scale)
+	out := runResult{
+		elapsedNs: res.ElapsedNs,
+		makespan:  rt.Eng.MaxClock(),
+		check:     res.Check,
+		global:    rt.Stats,
+	}
+	for _, vp := range rt.VProcs {
+		out.perVProc = append(out.perVProc, vp.Stats)
+	}
+	return out
+}
+
+// TestDeterministicRerun runs the same workload/config twice and asserts
+// bit-identical makespan, workload result, and per-vproc statistics.
+func TestDeterministicRerun(t *testing.T) {
+	cases := []struct {
+		name   string
+		nv     int
+		policy mempage.Policy
+		scale  float64
+	}{
+		{"quicksort", 8, mempage.PolicyLocal, 0.25},
+		{"barnes-hut", 16, mempage.PolicySingleNode, 0.125},
+		{"synthetic", 8, mempage.PolicyInterleaved, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a := runWorkloadOnce(t, tc.name, tc.nv, tc.policy, tc.scale)
+			b := runWorkloadOnce(t, tc.name, tc.nv, tc.policy, tc.scale)
+			if a.elapsedNs != b.elapsedNs {
+				t.Errorf("elapsed diverged: %d vs %d", a.elapsedNs, b.elapsedNs)
+			}
+			if a.makespan != b.makespan {
+				t.Errorf("makespan diverged: %d vs %d", a.makespan, b.makespan)
+			}
+			if a.check != b.check {
+				t.Errorf("workload check diverged: %#x vs %#x", a.check, b.check)
+			}
+			if a.global != b.global {
+				t.Errorf("runtime stats diverged:\n  %+v\n  %+v", a.global, b.global)
+			}
+			for i := range a.perVProc {
+				if a.perVProc[i] != b.perVProc[i] {
+					t.Errorf("vproc %d stats diverged:\n  %+v\n  %+v", i, a.perVProc[i], b.perVProc[i])
+				}
+			}
+		})
+	}
+}

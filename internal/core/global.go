@@ -217,11 +217,11 @@ func (vp *VProc) globalScanRoots() {
 	for i, a := range vp.roots {
 		vp.roots[i] = fw(a)
 	}
-	for _, t := range vp.queue.items {
+	vp.queue.each(func(t *Task) {
 		for i, a := range t.env {
 			t.env[i] = fw(a)
 		}
-	}
+	})
 	for i, pa := range vp.proxies {
 		vp.proxies[i] = fw(pa)
 	}

@@ -114,11 +114,11 @@ func (vp *VProc) forwardLocalRoots(forward func(heap.Addr) heap.Addr) {
 	for i, a := range vp.roots {
 		vp.roots[i] = forward(a)
 	}
-	for _, t := range vp.queue.items {
+	vp.queue.each(func(t *Task) {
 		for i, a := range t.env {
 			t.env[i] = forward(a)
 		}
-	}
+	})
 	for _, pa := range vp.proxies {
 		p := vp.rt.Space.Payload(pa)
 		la := heap.Addr(p[heap.ProxyLocalSlot])

@@ -69,44 +69,90 @@ func (t *Task) Done() bool { return t.done }
 // bottom (LIFO, for locality); thieves steal from the top (FIFO, stealing
 // the oldest — typically largest — task). The virtual-time engine
 // serializes all access.
+//
+// The storage is a ring buffer: popTop advances the head index instead of
+// re-slicing, so stolen tasks are released immediately rather than pinned
+// in the backing array, and long-lived queues stop retaining garbage.
 type deque struct {
-	items []*Task
+	buf  []*Task
+	head int // ring index of the top (oldest) task
+	n    int // number of queued tasks
 }
 
-func (d *deque) pushBottom(t *Task) { d.items = append(d.items, t) }
+// at returns the i'th queued task, counting from the top (oldest).
+func (d *deque) at(i int) *Task { return d.buf[(d.head+i)%len(d.buf)] }
+
+func (d *deque) grow() {
+	cap := 2 * len(d.buf)
+	if cap < 8 {
+		cap = 8
+	}
+	nb := make([]*Task, cap)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.at(i)
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+func (d *deque) pushBottom(t *Task) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = t
+	d.n++
+}
 
 func (d *deque) popBottom() *Task {
-	n := len(d.items)
-	if n == 0 {
+	if d.n == 0 {
 		return nil
 	}
-	t := d.items[n-1]
-	d.items = d.items[:n-1]
+	d.n--
+	i := (d.head + d.n) % len(d.buf)
+	t := d.buf[i]
+	d.buf[i] = nil
 	return t
 }
 
 func (d *deque) popTop() *Task {
-	if len(d.items) == 0 {
+	if d.n == 0 {
 		return nil
 	}
-	t := d.items[0]
-	d.items = d.items[1:]
+	t := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
 	return t
 }
 
 // removeTask unlinks a specific task (for inline joins); returns false if
-// the task is no longer queued (it was stolen).
+// the task is no longer queued (it was stolen). Relative order of the
+// remaining tasks is preserved.
 func (d *deque) removeTask(t *Task) bool {
-	for i, q := range d.items {
-		if q == t {
-			d.items = append(d.items[:i], d.items[i+1:]...)
-			return true
+	for i := 0; i < d.n; i++ {
+		if d.at(i) != t {
+			continue
 		}
+		for j := i; j < d.n-1; j++ {
+			d.buf[(d.head+j)%len(d.buf)] = d.buf[(d.head+j+1)%len(d.buf)]
+		}
+		d.n--
+		d.buf[(d.head+d.n)%len(d.buf)] = nil
+		return true
 	}
 	return false
 }
 
-func (d *deque) size() int { return len(d.items) }
+func (d *deque) size() int { return d.n }
+
+// each visits every queued task, top (oldest) first — the same order the
+// former slice layout iterated in, which collections rely on for
+// deterministic root forwarding.
+func (d *deque) each(f func(*Task)) {
+	for i := 0; i < d.n; i++ {
+		f(d.at(i))
+	}
+}
 
 // MakeEnv pushes the given addresses as roots and returns an Env over them;
 // the caller pops len(addrs) roots when done. It lets embedding code (and
@@ -192,39 +238,126 @@ func (vp *VProc) JoinResult(t *Task) heap.Addr {
 	return t.result
 }
 
-// trySteal attempts to steal one task, rotating over victims starting after
-// this vproc. On success the stolen task's environment is promoted out of
-// the victim's heap (lazy promotion at steal time).
-func (vp *VProc) trySteal() *Task {
+// stealFrom takes the top task from a victim observed to be stealable at
+// the current virtual instant (the observation and the heapBusy lock are in
+// the same engine-scheduled segment, so no collection can intervene).
+func (vp *VProc) stealFrom(victim *VProc) *Task {
+	rt := vp.rt
+	// Lock out the victim's collections BEFORE unlinking the task:
+	// once popped, the environment is no longer in the victim's
+	// root set, so the victim must not collect until the thief has
+	// promoted it.
+	victim.heapBusy = true
+	t := victim.queue.popTop()
+	vp.advance(rt.Cfg.StealHitNs)
+	vp.Stats.Steals++
+	// Lazy promotion: the stolen environment must move to the
+	// global heap before it crosses vprocs (§3.1). The thief
+	// performs the copy out of the victim's heap.
+	if rt.Cfg.LazyPromotion {
+		for i, a := range t.env {
+			t.env[i] = vp.promoteFrom(victim, a)
+		}
+	}
+	victim.heapBusy = false
+	return t
+}
+
+// Idle-sweep outcomes: what the engine-stepped idle machine observed, to be
+// acted on by the vproc's own goroutine at the same virtual instant.
+const (
+	sweepSteal     = iota // a victim with a stealable task
+	sweepRunLocal         // own queue became non-empty
+	sweepPreempt          // a pending global collection
+	sweepQuiesce          // no outstanding tasks after a failed sweep
+	sweepJoinDone         // the joined task completed
+	sweepExhausted        // one-shot sweep found nothing (trySteal)
+)
+
+// sweep runs the vproc's steal-probe machine — and, unless oneShot, the
+// whole idle cycle of poll ticks and loop-top preemption/work checks —
+// inside the engine's inline-step path, parking the goroutine until
+// something to act on is observed. The charge/observe sequence is exactly
+// that of the same loops built on plain Advance: probes charge
+// StealAttemptNs before observing each victim, a failed sweep charges
+// PollNs, and loop-top checks (join completion, preemption signal, own
+// queue) re-run after every poll.
+//
+// join, when non-nil, is the task whose completion ends the wait (Join's
+// loop); when nil, a failed multi-round sweep checks for quiescence instead
+// (schedulerLoop). oneShot ends the machine after a single failed sweep
+// (trySteal's contract).
+//
+// The machine enters at sweep-start: the caller has already performed the
+// current iteration's loop-top checks on its own goroutine.
+func (vp *VProc) sweep(join *Task, oneShot bool) (outcome int, victim *VProc) {
 	rt := vp.rt
 	n := len(rt.VProcs)
-	for k := 1; k < n; k++ {
-		victim := rt.VProcs[(vp.ID+k)%n]
-		vp.advance(rt.Cfg.StealAttemptNs)
-		if victim.heapBusy || victim.queue.size() == 0 {
-			continue
+	k := 0
+	vp.proc.StepWhile(func() (int64, bool) {
+		if k < 0 {
+			// Loop top, reached after a poll charge: the same checks
+			// the goroutine loop performs between iterations.
+			if join != nil && join.done {
+				outcome = sweepJoinDone
+				return 0, true
+			}
+			if vp.Local.LimitZeroed() {
+				vp.Local.RestoreLimit()
+			}
+			if rt.global.pending {
+				outcome = sweepPreempt
+				return 0, true
+			}
+			if vp.queue.size() > 0 {
+				outcome = sweepRunLocal
+				return 0, true
+			}
+			k = 1
+			return rt.Cfg.StealAttemptNs, false
 		}
-		// Lock out the victim's collections BEFORE unlinking the task:
-		// once popped, the environment is no longer in the victim's
-		// root set, so the victim must not collect until the thief has
-		// promoted it.
-		victim.heapBusy = true
-		t := victim.queue.popTop()
-		vp.advance(rt.Cfg.StealHitNs)
-		vp.Stats.Steals++
-		// Lazy promotion: the stolen environment must move to the
-		// global heap before it crosses vprocs (§3.1). The thief
-		// performs the copy out of the victim's heap.
-		if rt.Cfg.LazyPromotion {
-			for i, a := range t.env {
-				t.env[i] = vp.promoteFrom(victim, a)
+		if k > 0 {
+			v := rt.VProcs[(vp.ID+k)%n]
+			if !v.heapBusy && v.queue.size() > 0 {
+				outcome = sweepSteal
+				victim = v
+				return 0, true
 			}
 		}
-		victim.heapBusy = false
-		return t
+		k++
+		if k < n {
+			return rt.Cfg.StealAttemptNs, false
+		}
+		vp.Stats.FailedSteals++
+		if oneShot {
+			outcome = sweepExhausted
+			return 0, true
+		}
+		if join == nil && rt.outstanding == 0 {
+			outcome = sweepQuiesce
+			return 0, true
+		}
+		k = -1
+		return rt.Cfg.PollNs, false
+	})
+	return outcome, victim
+}
+
+// idleSweep is the multi-round sweep used by schedulerLoop and Join.
+func (vp *VProc) idleSweep(join *Task) (int, *VProc) {
+	return vp.sweep(join, false)
+}
+
+// trySteal attempts to steal one task, rotating over victims starting after
+// this vproc. On success the stolen task's environment is promoted out of
+// the victim's heap (lazy promotion at steal time). The probe loop runs
+// through the engine's inline-step path (see sweep).
+func (vp *VProc) trySteal() *Task {
+	out, victim := vp.sweep(nil, true)
+	if out != sweepSteal {
+		return nil
 	}
-	vp.Stats.FailedSteals++
-	return nil
+	return vp.stealFrom(victim)
 }
 
 // findWork returns the next task to run: own queue first, then stealing.
@@ -264,15 +397,31 @@ func (vp *VProc) ServiceScheduler() {
 
 // schedulerLoop drives the vproc until the runtime has no outstanding
 // tasks. Every iteration is a safepoint for pending global collections.
+// Idle iterations (steal sweeps and poll ticks) run through idleSweep, so
+// an idle vproc costs the engine inline step calls, not goroutine handoffs.
 func (vp *VProc) schedulerLoop() {
 	rt := vp.rt
 	for {
 		vp.checkPreempt()
-		if t := vp.findWork(); t != nil {
+	work:
+		if t := vp.queue.popBottom(); t != nil {
 			vp.runTask(t)
 			continue
 		}
-		if rt.outstanding == 0 {
+		out, victim := vp.idleSweep(nil)
+		switch out {
+		case sweepSteal:
+			vp.runTask(vp.stealFrom(victim))
+		case sweepRunLocal, sweepPreempt:
+			// The sweep's loop-top already performed this
+			// iteration's preemption checks; service the signal (if
+			// any) and go straight to the work queue, as the plain
+			// loop's checkPreempt→findWork sequence would.
+			if out == sweepPreempt {
+				vp.participateGlobal()
+			}
+			goto work
+		case sweepQuiesce:
 			// Do not exit with a global collection pending: the
 			// stop-the-world barrier needs every vproc.
 			if rt.global.pending {
@@ -281,13 +430,13 @@ func (vp *VProc) schedulerLoop() {
 			}
 			return
 		}
-		vp.advance(rt.Cfg.PollNs)
 	}
 }
 
 // Join waits for t to complete. If the task is still in this vproc's own
 // queue it is run inline (the common fork-join fast path); if it was stolen,
-// the vproc works on other tasks (or polls) until the thief finishes it.
+// the vproc works on other tasks (or polls) until the thief finishes it,
+// waiting through idleSweep's inline-step path while idle.
 func (vp *VProc) Join(t *Task) {
 	if !t.done && vp.queue.removeTask(t) {
 		vp.runTask(t)
@@ -295,11 +444,23 @@ func (vp *VProc) Join(t *Task) {
 	}
 	for !t.done {
 		vp.checkPreempt()
-		if other := vp.findWork(); other != nil {
+	work:
+		if other := vp.queue.popBottom(); other != nil {
 			vp.runTask(other)
 			continue
 		}
-		vp.advance(vp.rt.Cfg.PollNs)
+		out, victim := vp.idleSweep(t)
+		switch out {
+		case sweepSteal:
+			vp.runTask(vp.stealFrom(victim))
+		case sweepRunLocal, sweepPreempt:
+			if out == sweepPreempt {
+				vp.participateGlobal()
+			}
+			goto work
+		case sweepJoinDone:
+			return
+		}
 	}
 }
 

@@ -194,3 +194,70 @@ func TestStatsAccounting(t *testing.T) {
 		t.Error("expected allocation and minor GCs")
 	}
 }
+
+func TestDequeRingWrap(t *testing.T) {
+	var d deque
+	var ts []*Task
+	for i := 0; i < 20; i++ {
+		ts = append(ts, &Task{})
+	}
+	// Interleave pushes and top-pops so head walks around the ring across
+	// several growths.
+	next := 0
+	var popped []*Task
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 3 && next < len(ts); i++ {
+			d.pushBottom(ts[next])
+			next++
+		}
+		if p := d.popTop(); p != nil {
+			popped = append(popped, p)
+		}
+	}
+	for p := d.popTop(); p != nil; p = d.popTop() {
+		popped = append(popped, p)
+	}
+	if len(popped) != next {
+		t.Fatalf("popped %d tasks, pushed %d", len(popped), next)
+	}
+	// FIFO across the whole sequence: top-pops must come out in push order.
+	for i, p := range popped {
+		if p != ts[i] {
+			t.Fatalf("popTop order broken at %d", i)
+		}
+	}
+	if d.size() != 0 {
+		t.Fatalf("size = %d after draining, want 0", d.size())
+	}
+}
+
+func TestDequeRemoveAcrossWrap(t *testing.T) {
+	var d deque
+	var ts []*Task
+	for i := 0; i < 8; i++ {
+		ts = append(ts, &Task{})
+	}
+	for _, task := range ts[:6] {
+		d.pushBottom(task)
+	}
+	// Advance head so the live window wraps the backing array.
+	d.popTop()
+	d.popTop()
+	d.pushBottom(ts[6])
+	d.pushBottom(ts[7])
+	if !d.removeTask(ts[4]) {
+		t.Fatal("removeTask failed for queued task")
+	}
+	if d.removeTask(ts[0]) {
+		t.Fatal("removeTask succeeded for already-popped task")
+	}
+	want := []*Task{ts[2], ts[3], ts[5], ts[6], ts[7]}
+	if d.size() != len(want) {
+		t.Fatalf("size = %d, want %d", d.size(), len(want))
+	}
+	for i, w := range want {
+		if got := d.popTop(); got != w {
+			t.Fatalf("popTop %d: wrong task (order not preserved); want index %d", i, i)
+		}
+	}
+}

@@ -4,6 +4,11 @@ package vtime
 // block until the last proc arrives; every participant then resumes with its
 // clock advanced to the latest arrival time plus SyncCost, modelling the
 // synchronization traffic of a stop-the-world rendezvous.
+//
+// Arrive is always executed by the current token holder, so like the engine
+// itself the barrier needs no locking: early arrivers park through the
+// engine's release path, and the last arriver re-inserts all of them into
+// the ready heap before continuing.
 type Barrier struct {
 	n        int
 	SyncCost int64
@@ -24,16 +29,14 @@ func NewBarrier(n int, syncCost int64) *Barrier {
 // itself) at max(arrival clocks) + SyncCost.
 func (b *Barrier) Arrive(p *Proc) {
 	e := p.eng
-	e.mu.Lock()
 	if p.clock > b.maxT {
 		b.maxT = p.clock
 	}
 	if len(b.waiting)+1 < b.n {
 		b.waiting = append(b.waiting, p)
 		p.state = Blocked
-		e.release()
-		e.mu.Unlock()
-		<-p.token
+		e.handoffFrom(p)
+		p.await()
 		return
 	}
 	// Last arriver: release all waiters at the synchronized time.
@@ -41,11 +44,14 @@ func (b *Barrier) Arrive(p *Proc) {
 	for _, q := range b.waiting {
 		q.clock = t
 		q.state = Ready
+		e.heapPush(q)
 	}
 	b.waiting = b.waiting[:0]
 	b.maxT = 0
 	p.clock = t
+	// The released procs joined the ready set, so the horizon must drop to
+	// their key before the last arriver runs on.
+	e.refreshHorizon()
 	// The last arriver keeps the token; the min-clock rule will schedule
 	// the released procs at its next Advance.
-	e.mu.Unlock()
 }

@@ -1,0 +1,86 @@
+package vtime
+
+import "testing"
+
+// BenchmarkAdvanceFastPath measures the horizon fast path: a single proc
+// (empty ready heap ⇒ horizon at +inf) advancing is a plain local add.
+func BenchmarkAdvanceFastPath(b *testing.B) {
+	e := NewEngine(1)
+	e.Run(func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+		}
+	})
+}
+
+// BenchmarkAdvanceCrossing measures the slow path where every advance
+// crosses the horizon and hands the token to another goroutine. Each
+// reported op includes n goroutine handoffs.
+func benchAdvanceCrossing(b *testing.B, n int) {
+	e := NewEngine(n)
+	e.Run(func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+		}
+	})
+}
+
+func BenchmarkAdvanceCrossing2(b *testing.B)  { benchAdvanceCrossing(b, 2) }
+func BenchmarkAdvanceCrossing8(b *testing.B)  { benchAdvanceCrossing(b, 8) }
+func BenchmarkAdvanceCrossing48(b *testing.B) { benchAdvanceCrossing(b, 48) }
+
+// BenchmarkAdvanceOverSteppers measures the inline-step path: one proc
+// advances while the others are parked in StepWhile, so every crossing is
+// resolved with function calls instead of handoffs. Each reported op
+// includes n-1 inline steps.
+func benchAdvanceOverSteppers(b *testing.B, n int) {
+	e := NewEngine(n)
+	var stop bool
+	e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			for i := 0; i < b.N; i++ {
+				p.Advance(1)
+			}
+			stop = true
+			return
+		}
+		p.StepWhile(func() (int64, bool) {
+			if stop {
+				return 0, true
+			}
+			return 1, false
+		})
+	})
+}
+
+func BenchmarkAdvanceOverSteppers2(b *testing.B)  { benchAdvanceOverSteppers(b, 2) }
+func BenchmarkAdvanceOverSteppers48(b *testing.B) { benchAdvanceOverSteppers(b, 48) }
+
+// BenchmarkBlockWake measures a wake/block round trip between two procs.
+func BenchmarkBlockWake(b *testing.B) {
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		if p.ID == 1 {
+			for i := 0; i < b.N; i++ {
+				p.Block()
+			}
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+			p.Wake(e.Proc(1))
+		}
+	})
+}
+
+// BenchmarkBarrier measures a full 8-proc barrier round.
+func BenchmarkBarrier(b *testing.B) {
+	e := NewEngine(8)
+	bar := NewBarrier(8, 5)
+	e.Run(func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(int64(p.ID) + 1)
+			bar.Arrive(p)
+		}
+	})
+}

@@ -150,3 +150,126 @@ func TestDeterministicInterleaving(t *testing.T) {
 		}
 	}
 }
+
+// stepTrace runs n procs where proc 0 records its schedule via StepWhile
+// and the rest advance normally; used to prove StepWhile is schedule-
+// equivalent to an explicit Advance loop.
+func stepTrace(useStep bool) []int64 {
+	e := NewEngine(3)
+	var trace []int64
+	e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			steps := 0
+			if useStep {
+				p.StepWhile(func() (int64, bool) {
+					trace = append(trace, p.Now())
+					steps++
+					if steps > 12 {
+						return 0, true
+					}
+					return 7, false
+				})
+				return
+			}
+			for {
+				trace = append(trace, p.Now())
+				steps++
+				if steps > 12 {
+					return
+				}
+				p.Advance(7)
+			}
+		}
+		for s := 0; s < 10; s++ {
+			p.Advance(int64(p.ID) * 5)
+		}
+	})
+	return trace
+}
+
+func TestStepWhileMatchesAdvanceLoop(t *testing.T) {
+	a, b := stepTrace(false), stepTrace(true)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: clock %d vs %d (full: %v vs %v)", i, a[i], b[i], a, b)
+		}
+	}
+}
+
+// TestStepWhileInline checks that a parked stepper's turns execute at the
+// correct virtual instants while another proc advances past it, and that
+// the stepper resumes on its own goroutine at the instant its step function
+// reports done.
+func TestStepWhileInline(t *testing.T) {
+	e := NewEngine(2)
+	var observed []int64
+	e.Run(func(p *Proc) {
+		if p.ID == 1 {
+			p.StepWhile(func() (int64, bool) {
+				observed = append(observed, p.Now())
+				if p.Now() >= 40 {
+					return 0, true
+				}
+				return 10, false
+			})
+			if p.Now() != 40 {
+				t.Errorf("stepper resumed at clock %d, want 40", p.Now())
+			}
+			return
+		}
+		for i := 0; i < 100; i++ {
+			p.Advance(1)
+		}
+	})
+	want := []int64{0, 10, 20, 30, 40}
+	if len(observed) != len(want) {
+		t.Fatalf("observed %v, want %v", observed, want)
+	}
+	for i := range want {
+		if observed[i] != want[i] {
+			t.Fatalf("observed %v, want %v", observed, want)
+		}
+	}
+}
+
+// TestWakeLowersHorizon pins the subtle horizon-refresh rule: waking a proc
+// whose clock ties the waker's must prevent the waker's fast path from
+// running past it when the woken proc has the smaller ID.
+func TestWakeLowersHorizon(t *testing.T) {
+	e := NewEngine(2)
+	var order []string
+	e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Block()
+			order = append(order, "p0-woken")
+			return
+		}
+		p.Advance(5)
+		p.Wake(e.Proc(0)) // p0's clock becomes 5, tying ours with smaller ID
+		p.Advance(0)      // tie ⇒ p0 (smaller ID) must run first
+		order = append(order, "p1-after")
+	})
+	if len(order) != 2 || order[0] != "p0-woken" || order[1] != "p1-after" {
+		t.Fatalf("wrong wakeup schedule: %v", order)
+	}
+}
+
+// TestStepWhileImmediateDone checks the zero-interaction case: a step
+// function that is done on its first call keeps the token without any
+// rescheduling.
+func TestStepWhileImmediateDone(t *testing.T) {
+	e := NewEngine(2)
+	e.Run(func(p *Proc) {
+		calls := 0
+		p.StepWhile(func() (int64, bool) {
+			calls++
+			return 0, true
+		})
+		if calls != 1 {
+			t.Errorf("proc %d: step called %d times, want 1", p.ID, calls)
+		}
+	})
+}

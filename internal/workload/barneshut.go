@@ -366,11 +366,10 @@ func stepBody(vp *core.VProc, d BHDescs, env core.Env, i int) {
 		// — the shared-data pattern that limits this benchmark.
 		var p []uint64
 		if depth < 3 {
-			p = vp.ReadBlockCached(cell)
+			p = vp.ReadBlockCachedCompute(cell, bhVisitNs)
 		} else {
-			p = vp.ReadBlock(cell)
+			p = vp.ReadBlockCompute(cell, bhVisitNs)
 		}
-		vp.Compute(bhVisitNs)
 		m := w2f(p[cellMass])
 		if m == 0 {
 			return
