@@ -1,6 +1,8 @@
 // Command gcbench regenerates the paper's evaluation figures: speedup
 // sweeps of the five benchmarks over thread counts, machines, and page
-// placement policies.
+// placement policies. Sweep points are independent deterministic
+// simulations, so they run on a worker pool (-j); results are identical
+// for any worker count.
 //
 // Usage:
 //
@@ -8,7 +10,9 @@
 //	gcbench -figure 4 -scale 0.5      # Figure 4 at half workload scale
 //	gcbench -machine amd48 -policy interleaved -threads 1,8,48 -bench dmm
 //	gcbench -all                      # Figures 4-7
-//	gcbench -baseline BENCH_v1.json   # record a perf baseline (JSON)
+//	gcbench -all -j 8                 # ... with 8 sweep workers
+//	gcbench -baseline BENCH_v2.json   # record a perf baseline (JSON)
+//	gcbench -compare BENCH_v2.json    # fail on any virtual-time drift
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -30,34 +35,48 @@ import (
 
 func main() {
 	var (
-		figure  = flag.Int("figure", 0, "paper figure to regenerate (4-7)")
-		all     = flag.Bool("all", false, "regenerate all figures (4-7)")
-		scale   = flag.Float64("scale", 1.0, "workload scale (1.0 = default reduced sizes)")
-		machine = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32)")
-		policy  = flag.String("policy", "local", "page placement policy (local, interleaved, single-node)")
-		threads = flag.String("threads", "", "comma-separated thread counts for custom sweeps")
+		figure   = flag.Int("figure", 0, "paper figure to regenerate (4-7)")
+		all      = flag.Bool("all", false, "regenerate all figures (4-7)")
+		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = default reduced sizes)")
+		machine  = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32)")
+		policy   = flag.String("policy", "local", "page placement policy (local, interleaved, single-node)")
+		threads  = flag.String("threads", "", "comma-separated thread counts for custom sweeps")
 		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: the five paper benchmarks)")
 		verbose  = flag.Bool("v", false, "print per-run progress")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "sweep points to run concurrently (virtual results are identical for any value)")
 		baseline = flag.String("baseline", "", "write a perf-baseline JSON (Figure 5-7 points at p=1/24/48) to this file")
+		compare  = flag.String("compare", "", "re-run the baseline configuration and fail on any virtual_ms drift vs this JSON file")
 	)
 	flag.Parse()
 
-	if *baseline != "" {
-		// A baseline is only comparable across PRs when it is always
+	if *baseline != "" && *compare != "" {
+		fatal(fmt.Errorf("-baseline and -compare are mutually exclusive"))
+	}
+	if *baseline != "" || *compare != "" {
+		// Baselines are only comparable across PRs when they are always
 		// recorded at the one fixed configuration, so reject any other
-		// configuration flag rather than silently ignoring it.
+		// configuration flag rather than silently ignoring it. -j and -v
+		// are allowed: they do not change virtual results.
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name != "baseline" && f.Name != "v" {
-				fatal(fmt.Errorf("-baseline uses a fixed configuration; remove -%s", f.Name))
+			switch f.Name {
+			case "baseline", "compare", "v", "j":
+			default:
+				fatal(fmt.Errorf("-baseline/-compare use a fixed configuration; remove -%s", f.Name))
 			}
 		})
-		if err := writeBaseline(*baseline); err != nil {
+		var err error
+		if *baseline != "" {
+			err = writeBaseline(*baseline, *workers)
+		} else {
+			err = compareBaseline(*compare, *workers)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	opt := bench.Options{Scale: *scale}
+	opt := bench.Options{Scale: *scale, Workers: *workers}
 	if *verbose {
 		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -113,12 +132,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// --- Baseline recording ---------------------------------------------------
+// --- Baseline recording and comparison -------------------------------------
 
 // BaselinePoint is one benchmark/policy/thread-count measurement. VirtualMs
 // is the simulation result (deterministic: it must stay bit-identical across
 // engine changes); WallNs is the host wall-clock per run (machine-dependent:
-// the perf trajectory later PRs compare against).
+// the perf trajectory later PRs compare against). With -j > 1, concurrent
+// points share host cores, which inflates per-point WallNs; committed
+// baselines are recorded with -j 1 so wall numbers stay comparable.
 type BaselinePoint struct {
 	Figure    int     `json:"figure"`
 	Benchmark string  `json:"benchmark"`
@@ -128,7 +149,7 @@ type BaselinePoint struct {
 	WallNs    int64   `json:"wall_ns"`
 }
 
-// Baseline is the on-disk format of BENCH_v1.json.
+// Baseline is the on-disk format of BENCH_v*.json.
 type Baseline struct {
 	Version   int             `json:"version"`
 	Scale     float64         `json:"scale"`
@@ -141,9 +162,12 @@ type Baseline struct {
 // virtual-ms values in the baseline line up with the benchmark output.
 const baselineScale = 0.25
 
-// writeBaseline measures the Figure 5-7 suite at p=1/24/48 and writes the
-// JSON baseline.
-func writeBaseline(path string) error {
+// baselineThreads are the fixed per-figure thread counts of the baseline.
+var baselineThreads = []int{1, 24, 48}
+
+// measureBaseline runs the fixed Figure 5-7 suite at p=1/24/48 on a worker
+// pool and returns the points in deterministic order.
+func measureBaseline(workers int) ([]BaselinePoint, error) {
 	figures := []struct {
 		id     int
 		policy mempage.Policy
@@ -152,42 +176,129 @@ func writeBaseline(path string) error {
 		{6, mempage.PolicyInterleaved},
 		{7, mempage.PolicySingleNode},
 	}
-	out := Baseline{
-		Version:   1,
-		Scale:     baselineScale,
-		GoVersion: runtime.Version(),
-		Date:      time.Now().UTC().Format("2006-01-02"),
-	}
-	topo := numa.AMD48()
+	var pts []BaselinePoint
 	for _, fig := range figures {
 		for _, name := range bench.FigureBenchmarks {
-			spec, err := workload.ByName(name)
-			if err != nil {
-				return err
+			if _, err := workload.ByName(name); err != nil {
+				return nil, err
 			}
-			for _, p := range []int{1, 24, 48} {
-				cfg := core.DefaultConfig(topo, p)
-				cfg.Policy = fig.policy
-				rt := core.MustNewRuntime(cfg)
-				start := time.Now()
-				res := spec.Run(rt, baselineScale)
-				wall := time.Since(start)
-				out.Points = append(out.Points, BaselinePoint{
+			for _, p := range baselineThreads {
+				pts = append(pts, BaselinePoint{
 					Figure:    fig.id,
 					Benchmark: name,
 					Policy:    fig.policy.String(),
 					Threads:   p,
-					VirtualMs: float64(res.ElapsedNs) / 1e6,
-					WallNs:    wall.Nanoseconds(),
 				})
-				fmt.Fprintf(os.Stderr, "figure %d %s %s p=%d: %.4f virtual-ms, %s wall\n",
-					fig.id, name, fig.policy, p, float64(res.ElapsedNs)/1e6, wall)
 			}
 		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			topo := numa.AMD48()
+			for i := range jobs {
+				pt := &pts[i]
+				pol, err := mempage.ParsePolicy(pt.Policy)
+				if err != nil {
+					panic(err)
+				}
+				spec, err := workload.ByName(pt.Benchmark)
+				if err != nil {
+					panic(err)
+				}
+				cfg := core.DefaultConfig(topo, pt.Threads)
+				cfg.Policy = pol
+				rt := core.MustNewRuntime(cfg)
+				start := time.Now()
+				res := spec.Run(rt, baselineScale)
+				pt.WallNs = time.Since(start).Nanoseconds()
+				pt.VirtualMs = float64(res.ElapsedNs) / 1e6
+				fmt.Fprintf(os.Stderr, "figure %d %s %s p=%d: %.4f virtual-ms, %s wall\n",
+					pt.Figure, pt.Benchmark, pt.Policy, pt.Threads, pt.VirtualMs, time.Duration(pt.WallNs))
+			}
+		}()
+	}
+	for i := range pts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return pts, nil
+}
+
+// writeBaseline measures the fixed suite and writes the JSON baseline.
+func writeBaseline(path string, workers int) error {
+	pts, err := measureBaseline(workers)
+	if err != nil {
+		return err
+	}
+	out := Baseline{
+		Version:   2,
+		Scale:     baselineScale,
+		GoVersion: runtime.Version(),
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Points:    pts,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareBaseline re-measures the fixed suite and fails on any virtual_ms
+// drift against the stored baseline. Wall times are machine-dependent and
+// are not compared. This is the CI gate that pins the simulation's
+// virtual-time results across optimisation PRs.
+func compareBaseline(path string, workers int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want Baseline
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if want.Scale != baselineScale {
+		return fmt.Errorf("%s records scale %g; this binary measures scale %g", path, want.Scale, baselineScale)
+	}
+	got, err := measureBaseline(workers)
+	if err != nil {
+		return err
+	}
+	key := func(p BaselinePoint) string {
+		return fmt.Sprintf("figure %d %s %s p=%d", p.Figure, p.Benchmark, p.Policy, p.Threads)
+	}
+	wantMs := make(map[string]float64, len(want.Points))
+	for _, p := range want.Points {
+		wantMs[key(p)] = p.VirtualMs
+	}
+	drift := 0
+	for _, p := range got {
+		w, ok := wantMs[key(p)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gcbench: %s missing from %s\n", key(p), path)
+			drift++
+			continue
+		}
+		if w != p.VirtualMs {
+			fmt.Fprintf(os.Stderr, "gcbench: %s drifted: baseline %.6f virtual-ms, got %.6f\n", key(p), w, p.VirtualMs)
+			drift++
+		}
+	}
+	if len(got) != len(want.Points) {
+		fmt.Fprintf(os.Stderr, "gcbench: point count differs: baseline %d, got %d\n", len(want.Points), len(got))
+		drift++
+	}
+	if drift > 0 {
+		return fmt.Errorf("%d baseline point(s) drifted vs %s", drift, path)
+	}
+	fmt.Printf("gcbench: all %d virtual-time points match %s\n", len(got), path)
+	return nil
 }

@@ -9,8 +9,10 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/mempage"
@@ -53,8 +55,21 @@ type Options struct {
 	BaselineNs map[string]int64
 	// Benchmarks restricts the suite (default: FigureBenchmarks).
 	Benchmarks []string
-	// Progress, if set, receives a line per completed run.
+	// Progress, if set, receives a line per completed run. With parallel
+	// workers, lines stream in completion order (calls are serialized).
 	Progress func(string)
+	// Workers bounds how many sweep points run concurrently; 0 means
+	// GOMAXPROCS. Every point owns an independent deterministic
+	// core.Runtime, so results are identical for any worker count.
+	Workers int
+}
+
+// workers resolves the worker-pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // runOne executes a benchmark at one configuration point.
@@ -76,22 +91,53 @@ func runOne(topo *numa.Topology, policy mempage.Policy, nv int, name string, opt
 	return spec.Run(rt, scale)
 }
 
-// Sweep runs the suite over the thread counts on a machine/policy.
+// Sweep runs the suite over the thread counts on a machine/policy. The
+// (benchmark, thread-count) points are independent — each owns its own
+// deterministic Runtime — so they dispatch to a worker pool of
+// opt.Workers goroutines; results are collected positionally, making the
+// figure identical for any worker count.
 func Sweep(topo *numa.Topology, policy mempage.Policy, threads []int, opt Options) Figure {
 	benches := opt.Benchmarks
 	if benches == nil {
 		benches = FigureBenchmarks
 	}
-	fig := Figure{Machine: topo.Name, Policy: policy, Baseline: map[string]int64{}}
-	for _, b := range benches {
-		s := Series{Benchmark: b, Threads: threads}
-		for _, nv := range threads {
-			res := runOne(topo, policy, nv, b, opt)
-			s.ElapsedNs = append(s.ElapsedNs, res.ElapsedNs)
-			if opt.Progress != nil {
-				opt.Progress(fmt.Sprintf("%s %s %s p=%d: %.3f ms", topo.Name, policy, b, nv, float64(res.ElapsedNs)/1e6))
+
+	type job struct{ bi, ti int }
+	jobs := make(chan job)
+	elapsed := make([][]int64, len(benches))
+	for bi := range benches {
+		elapsed[bi] = make([]int64, len(threads))
+	}
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				nv := threads[j.ti]
+				b := benches[j.bi]
+				res := runOne(topo, policy, nv, b, opt)
+				elapsed[j.bi][j.ti] = res.ElapsedNs
+				if opt.Progress != nil {
+					progressMu.Lock()
+					opt.Progress(fmt.Sprintf("%s %s %s p=%d: %.3f ms", topo.Name, policy, b, nv, float64(res.ElapsedNs)/1e6))
+					progressMu.Unlock()
+				}
 			}
+		}()
+	}
+	for bi := range benches {
+		for ti := range threads {
+			jobs <- job{bi, ti}
 		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	fig := Figure{Machine: topo.Name, Policy: policy, Baseline: map[string]int64{}}
+	for bi, b := range benches {
+		s := Series{Benchmark: b, Threads: threads, ElapsedNs: elapsed[bi]}
 		base := s.ElapsedNs[0]
 		if opt.BaselineNs != nil {
 			if v, ok := opt.BaselineNs[b]; ok {

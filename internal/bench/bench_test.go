@@ -2,6 +2,7 @@ package bench
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/mempage"
@@ -68,6 +69,49 @@ func TestPolicyOrderingAtScale(t *testing.T) {
 	sms := single.Series[0].ElapsedNs[0]
 	if !(lms < sms) {
 		t.Errorf("at 24 threads: local %d ns should beat single-node %d ns", lms, sms)
+	}
+}
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	// Every sweep point owns an independent deterministic Runtime, so the
+	// figure must be bit-identical for any worker count.
+	opt := Options{Scale: testScale, Benchmarks: []string{"quicksort", "synthetic"}}
+	serial, parallel := opt, opt
+	serial.Workers = 1
+	parallel.Workers = 4
+	threads := []int{1, 4, 8}
+	a := Sweep(numa.AMD48(), mempage.PolicyLocal, threads, serial)
+	b := Sweep(numa.AMD48(), mempage.PolicyLocal, threads, parallel)
+	for i, sa := range a.Series {
+		sb := b.Series[i]
+		if sa.Benchmark != sb.Benchmark {
+			t.Fatalf("series %d: benchmark order differs: %s vs %s", i, sa.Benchmark, sb.Benchmark)
+		}
+		for j := range sa.ElapsedNs {
+			if sa.ElapsedNs[j] != sb.ElapsedNs[j] {
+				t.Errorf("%s p=%d: serial %d ns, parallel %d ns", sa.Benchmark, sa.Threads[j], sa.ElapsedNs[j], sb.ElapsedNs[j])
+			}
+		}
+	}
+}
+
+func TestParallelSweepStreamsProgress(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	opt := Options{
+		Scale:      0.05,
+		Benchmarks: []string{"synthetic"},
+		Workers:    3,
+		Progress: func(s string) {
+			mu.Lock()
+			lines = append(lines, s)
+			mu.Unlock()
+		},
+	}
+	threads := []int{1, 2, 4, 8}
+	Sweep(numa.AMD48(), mempage.PolicyLocal, threads, opt)
+	if len(lines) != len(threads) {
+		t.Errorf("progress lines = %d, want %d", len(lines), len(threads))
 	}
 }
 

@@ -201,6 +201,9 @@ func (vp *VProc) globalForward(a heap.Addr) heap.Addr {
 		})
 	}
 
+	// Global copies always move metered DRAM traffic on both sides, so
+	// there is nothing to fuse: the charge advances at its exact instant
+	// (the batched-charge contract only covers meterless transfers).
 	srcNode := rt.Space.NodeOf(a)
 	dstNode := rt.Space.NodeOf(na)
 	vp.advance(rt.Machine.CopyStreamCost(vp.Now(), vp.Core, srcNode, dstNode, (n+1)*8,
@@ -246,7 +249,8 @@ func (vp *VProc) globalScanRoots() {
 		}
 		scan += n + 1
 	}
-	// Charge the local-heap walk as a streaming read.
+	// Charge the local-heap walk as a single streaming read: the whole
+	// walk is one fused charge (the maximal batch), not one per object.
 	node := rt.Space.NodeOf(heap.MakeAddr(lh.Region.ID, 1))
 	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, (lh.OldTop-1)*8, numa.AccessCache))
 }

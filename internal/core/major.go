@@ -36,6 +36,12 @@ func (vp *VProc) majorGC() {
 	}
 	var copied int64
 
+	// Evacuation charges always write the metered global heap, so they
+	// flush through the batch at their exact instants (pending is empty
+	// whenever globalAllocDst can reach the engine); only the young-data
+	// slide at the end can fuse.
+	batch := chargeBatch{vp: vp}
+
 	// forward evacuates an old-partition object into the global heap.
 	var forward func(a heap.Addr) heap.Addr
 	forward = func(a heap.Addr) heap.Addr {
@@ -56,8 +62,7 @@ func (vp *VProc) majorGC() {
 
 		srcNode := rt.Space.NodeOf(a)
 		dstNode := rt.Space.NodeOf(na)
-		vp.advance(rt.Machine.CopyStreamCost(vp.Now(), vp.Core, srcNode, dstNode, (n+1)*8,
-			numa.AccessCache, numa.AccessMemory))
+		batch.copyStream(srcNode, dstNode, (n+1)*8, numa.AccessCache, numa.AccessMemory)
 
 		// Cheney-scan the copy immediately (recursive formulation is
 		// fine here: object graphs in the local heap are bounded by
@@ -100,8 +105,7 @@ func (vp *VProc) majorGC() {
 		copy(words[1:1+youngLen], words[youngStart:lh.OldTop])
 		// Charge the slide as a local-heap copy.
 		node := rt.Space.NodeOf(heap.MakeAddr(region.ID, 1))
-		vp.advance(rt.Machine.CopyStreamCost(vp.Now(), vp.Core, node, node, youngLen*8,
-			numa.AccessCache, numa.AccessCache))
+		batch.copyStream(node, node, youngLen*8, numa.AccessCache, numa.AccessCache)
 	}
 	adjust := func(a heap.Addr) heap.Addr {
 		if a != 0 && a.RegionID() == region.ID && a.Word() >= youngStart && a.Word() < lh.OldTop {
@@ -126,6 +130,8 @@ func (vp *VProc) majorGC() {
 		}
 		vp.forwardLocalRoots(adjust)
 	}
+
+	batch.flush()
 
 	lh.OldTop = 1 + youngLen
 	lh.YoungStart = lh.OldTop // young becomes old; next minor repopulates

@@ -28,6 +28,13 @@ func (vp *VProc) minorGC() {
 	nurseryStart := lh.NurseryStart
 	var copied int64
 
+	// Copy charges fuse into one engine advance per collection while the
+	// local heap's pages are node-local (see chargeBatch): the collector
+	// holds heapBusy, so nothing observable happens between the fused
+	// instants. Metered charges (non-local pages under interleaved or
+	// single-node placement) flush and advance at their exact instants.
+	batch := chargeBatch{vp: vp}
+
 	// forward copies a nursery object to the old-data area and returns
 	// its new address; non-nursery addresses pass through unchanged.
 	var forward func(a heap.Addr) heap.Addr
@@ -60,8 +67,7 @@ func (vp *VProc) minorGC() {
 		// heap, so with node-local pages this is an L3-resident copy.
 		srcNode := rt.Space.NodeOf(a)
 		dstNode := rt.Space.NodeOf(na)
-		vp.advance(rt.Machine.CopyStreamCost(vp.Now(), vp.Core, srcNode, dstNode, (n+1)*8,
-			numa.AccessCache, numa.AccessCache))
+		batch.copyStream(srcNode, dstNode, (n+1)*8, numa.AccessCache, numa.AccessCache)
 		return na
 	}
 
@@ -80,6 +86,8 @@ func (vp *VProc) minorGC() {
 		})
 		scan += heap.HeaderLen(h) + 1
 	}
+
+	batch.flush()
 
 	// Figure 2: reclaim the nursery, split the free space, upper half
 	// becomes the new nursery. Everything copied by this collection is

@@ -25,26 +25,111 @@ const (
 // how the model reproduces the bus saturation the paper observes when all
 // nodes hammer socket zero (§4.3). Callers are serialized by the
 // virtual-time engine and present non-decreasing timestamps.
+//
+// AccessCost is the inner loop of the whole simulation (every modelled
+// transfer lands here), so the model is compiled into flat tables at
+// construction time: a per-(core, node) path table, per-(path, kind) cost
+// tables holding both the rounded int64 cost (the mult == 1 answer) and
+// the unrounded float base (what a congestion multiplier scales), and
+// per-epoch budgets. While a meter is provably under budget in the current
+// epoch the multiplier is exactly 1 and the charge is a handful of loads
+// and adds in an inlinable wrapper — no divisions, no float multiplier
+// math. Every fast path is an exact-result optimisation, never an
+// approximation: equivalence with the retained Reference implementation is
+// enforced bit-for-bit by TestFastPathEquivalence.
 type Machine struct {
 	Topo *Topology
 
-	// EpochNs is the contention accounting window.
+	// EpochNs is the contention accounting window. It is fixed at
+	// construction; the per-epoch budgets and the meters' cached epoch
+	// bounds are derived from it, so it must not be mutated after the
+	// first charge.
 	EpochNs int64
 
 	ctrl   []meter // per-node memory-controller demand
 	remote []meter // per-node ingress demand from other packages
 
-	stats TrafficStats
+	// --- Precomputed tables (see rebuild) ---
+
+	nNodes  int
+	nNodesU uint
+	// pathTab flattens Topo.Path into one row per core:
+	// pathTab[core*nNodes+memNode] is the PathKind of that access.
+	pathTab []uint8
+	// pathCost holds the per-path latency and bandwidth constants from
+	// Table 1, indexed by PathKind.
+	pathCost [3]pathParam
+	// accessTab/streamTab hold, per path and word count i (flattened as
+	// [path*tabWords+i]), the rounded cost of an uncontended (mult == 1)
+	// transfer of i*8 bytes next to the float demand the meters
+	// accumulate for it, so the whole uncontended charge reads one table
+	// row. accessTabF/streamTabF hold the unrounded base the congestion
+	// multiplier scales; cacheAccessTabI/cacheStreamTabI are the rounded
+	// costs of the meterless own-cache path.
+	accessTab       []costEntry
+	streamTab       []costEntry
+	accessTabF      []float64
+	streamTabF      []float64
+	cacheAccessTabI []int64
+	cacheStreamTabI []int64
+	// ctrlBudget and remoteBudget are the per-epoch byte budgets of the
+	// home memory controller and the remote ingress links.
+	ctrlBudget   float64
+	remoteBudget float64
+	// cacheLat and cacheBW model an L3 hit (the meterless path).
+	cacheLat float64
+	cacheBW  float64
+
+	// Traffic accumulators. Accumulation is branch-free: every charge adds
+	// its bytes and bumps its count at a single computed index — 0..2 are
+	// the PathKinds, 3 (cacheIdx) is own-cache traffic — and Stats
+	// assembles the public TrafficStats shape on demand. Counts are kept
+	// per slot (instead of one shared counter) so back-to-back charges on
+	// different paths do not serialize on one read-modify-write chain.
+	bytesAcc [4]uint64
+	countAcc [4]uint64
 }
+
+// pathParam is one row of the per-path cost table.
+type pathParam struct {
+	lat float64 // base latency, ns
+	bw  float64 // bandwidth, bytes/ns
+}
+
+// costEntry pairs the rounded uncontended cost of a transfer with the
+// demand the contention meters accumulate for it.
+type costEntry struct {
+	costI  int64
+	demand float64
+}
+
+// cacheIdx is the bytesAcc slot for own-cache (meterless) traffic.
+const cacheIdx = 3
+
+// tabWords bounds the precomputed cost tables: transfers of up to
+// tabWords*8 bytes with a word-multiple size — which is every GC and
+// allocator charge — resolve by table lookup. Larger or unaligned
+// transfers fall back to the direct computation.
+const tabWords = 8192
 
 // lineBytes is the cache-line transfer granularity used for contention
 // accounting.
 const lineBytes = 64
 
 // meter tracks demand against a byte budget within the current epoch.
+//
+// Although the engine serializes all callers, charge timestamps are not
+// globally monotone: a proc with a smaller clock can charge after one with
+// a larger clock (it is scheduled precisely because its clock is smaller),
+// so a charge may arrive from the epoch before the meter's current one.
+// The same-epoch test must therefore bound now on both sides.
 type meter struct {
 	epoch int64
-	bytes float64
+	// epochStart caches epoch*EpochNs so the common same-epoch charge is
+	// one unsigned comparison instead of an integer division. The zero
+	// value (epoch 0, start 0) is a valid fresh meter.
+	epochStart int64
+	bytes      float64
 }
 
 // TrafficStats aggregates modelled traffic, for reports and tests.
@@ -56,12 +141,55 @@ type TrafficStats struct {
 
 // NewMachine wraps a topology with fresh contention state.
 func NewMachine(t *Topology) *Machine {
-	return &Machine{
+	m := &Machine{
 		Topo:    t,
 		EpochNs: 50_000,
-		ctrl:    make([]meter, t.NumNodes()),
-		remote:  make([]meter, t.NumNodes()),
 	}
+	m.rebuild()
+	return m
+}
+
+// rebuild derives the fast-path tables and fresh meters from Topo/EpochNs.
+func (m *Machine) rebuild() {
+	t := m.Topo
+	m.nNodes = t.NumNodes()
+	m.nNodesU = uint(m.nNodes)
+	m.pathTab = make([]uint8, t.NumCores()*m.nNodes)
+	for core := 0; core < t.NumCores(); core++ {
+		for node := 0; node < m.nNodes; node++ {
+			m.pathTab[core*m.nNodes+node] = uint8(t.Path(core, node))
+		}
+	}
+	m.accessTab = make([]costEntry, 3*tabWords)
+	m.streamTab = make([]costEntry, 3*tabWords)
+	m.accessTabF = make([]float64, 3*tabWords)
+	m.streamTabF = make([]float64, 3*tabWords)
+	for _, p := range []PathKind{PathLocal, PathSamePackage, PathRemote} {
+		lat, bw := t.Latency(p), t.Bandwidth(p)
+		m.pathCost[p] = pathParam{lat: lat, bw: bw}
+		for i := 1; i < tabWords; i++ {
+			demand := float64(i * 8)
+			if demand < lineBytes {
+				demand = lineBytes
+			}
+			m.accessTabF[int(p)*tabWords+i] = lat + demand/bw
+			m.streamTabF[int(p)*tabWords+i] = float64(i*8) / bw
+			m.accessTab[int(p)*tabWords+i] = costEntry{int64(lat + demand/bw), demand}
+			m.streamTab[int(p)*tabWords+i] = costEntry{int64(float64(i*8) / bw), float64(i * 8)}
+		}
+	}
+	m.cacheAccessTabI = make([]int64, tabWords)
+	m.cacheStreamTabI = make([]int64, tabWords)
+	for i := 1; i < tabWords; i++ {
+		m.cacheAccessTabI[i] = int64(t.CacheLat + float64(i*8)/t.CacheBW)
+		m.cacheStreamTabI[i] = int64(float64(i*8) / t.CacheBW)
+	}
+	m.ctrlBudget = t.LocalBW * float64(m.EpochNs)
+	m.remoteBudget = t.RemoteBW * float64(m.EpochNs)
+	m.cacheLat = t.CacheLat
+	m.cacheBW = t.CacheBW
+	m.ctrl = make([]meter, m.nNodes)
+	m.remote = make([]meter, m.nNodes)
 }
 
 // Reset clears contention state and traffic statistics.
@@ -70,61 +198,126 @@ func (m *Machine) Reset() {
 		m.ctrl[i] = meter{}
 		m.remote[i] = meter{}
 	}
-	m.stats = TrafficStats{}
+	m.bytesAcc = [4]uint64{}
+	m.countAcc = [4]uint64{}
 }
 
 // Stats returns a copy of the accumulated traffic statistics.
-func (m *Machine) Stats() TrafficStats { return m.stats }
+func (m *Machine) Stats() TrafficStats {
+	return TrafficStats{
+		BytesByPath: [3]uint64{m.bytesAcc[0], m.bytesAcc[1], m.bytesAcc[2]},
+		CacheBytes:  m.bytesAcc[cacheIdx],
+		Accesses:    m.countAcc[0] + m.countAcc[1] + m.countAcc[2] + m.countAcc[cacheIdx],
+	}
+}
 
 // charge adds demand to a meter and returns the congestion multiplier in
 // effect for this transfer: 1 when the epoch budget is unused, growing
 // linearly with the demand already queued this epoch.
 func (mt *meter) charge(now int64, epochNs int64, bytes, budget float64) float64 {
-	e := now / epochNs
-	if e != mt.epoch {
-		// Carry half of the residual overload into the new epoch so a
-		// saturated controller does not reset to "idle" at an epoch
-		// boundary mid-burst.
-		over := mt.bytes - budget
-		mt.epoch = e
-		if over > 0 {
-			mt.bytes = over / 2
-		} else {
-			mt.bytes = 0
-		}
+	if uint64(now-mt.epochStart) >= uint64(epochNs) {
+		mt.roll(now, epochNs, budget)
+	}
+	if mt.bytes <= budget {
+		mt.bytes += bytes
+		return 1
 	}
 	mult := 1.0
-	if mt.bytes > budget {
-		mult += (mt.bytes - budget) / budget
-	}
+	mult += (mt.bytes - budget) / budget
 	mt.bytes += bytes
 	return mult
+}
+
+// roll moves the meter into now's epoch. Residual overload decays by half
+// for every elapsed epoch — a controller that was saturated and then sat
+// idle for g epochs carries over/2^g into the new epoch, so a long idle gap
+// cools it all the way down instead of halving once regardless of the gap.
+// A backward roll (a charge from the epoch before the meter's current one,
+// possible because engine timestamps are not globally monotone) decays by
+// one halving, the same as a single elapsed epoch.
+func (mt *meter) roll(now, epochNs int64, budget float64) {
+	e := now / epochNs
+	gap := e - mt.epoch
+	mt.epoch = e
+	mt.epochStart = e * epochNs
+	over := mt.bytes - budget
+	switch {
+	case over <= 0 || gap >= 63:
+		mt.bytes = 0
+	case gap < 1:
+		mt.bytes = over / 2
+	default:
+		mt.bytes = over / float64(int64(1)<<uint(gap))
+	}
 }
 
 // AccessCost returns the virtual-ns cost of a transfer of the given number
 // of bytes between the issuing core and memory homed on memNode, and
 // accounts the traffic for contention purposes. now is the issuing vproc's
 // current virtual time.
+//
+// The body below is the inlinable uncontended fast path: a word-multiple
+// table-covered size, a memory access on a non-remote path, and a home
+// controller still in its epoch and under budget — exactly the mult == 1
+// conditions — resolve to a table load. Everything else (cache accesses,
+// remote paths, epoch rolls, contention, odd sizes) takes the full route.
 func (m *Machine) AccessCost(now int64, core, memNode, bytes int, kind AccessKind) int64 {
+	ub := uint(bytes)
+	if ub&7 == 0 && ub-8 <= tabWords*8-16 && uint(memNode) < m.nNodesU {
+		p := m.pathTab[uint(core)*m.nNodesU+uint(memNode)]
+		if kind == AccessCache {
+			if p == uint8(PathLocal) {
+				m.countAcc[cacheIdx]++
+				m.bytesAcc[cacheIdx] += uint64(bytes)
+				return m.cacheAccessTabI[ub>>3]
+			}
+		} else {
+			mt := &m.ctrl[memNode]
+			if uint64(now-mt.epochStart) < uint64(m.EpochNs) && mt.bytes <= m.ctrlBudget {
+				e := &m.accessTab[uint(p&3)*tabWords+ub>>3]
+				if p != uint8(PathRemote) {
+					m.countAcc[p&3]++
+					m.bytesAcc[p&3] += uint64(bytes)
+					mt.bytes += e.demand
+					return e.costI
+				}
+				// Remote transfers also ride the ingress meter; the
+				// fast path applies only when that one is under
+				// budget too (nothing is mutated before the bail).
+				rmt := &m.remote[memNode]
+				if uint64(now-rmt.epochStart) < uint64(m.EpochNs) && rmt.bytes <= m.remoteBudget {
+					m.countAcc[p&3]++
+					m.bytesAcc[p&3] += uint64(bytes)
+					mt.bytes += e.demand
+					rmt.bytes += e.demand
+					return e.costI
+				}
+			}
+		}
+	}
+	return m.accessCostSlow(now, core, memNode, bytes, kind)
+}
+
+// accessCostSlow is the full charge: validation, cache classification,
+// epoch rolls, and both contention meters.
+func (m *Machine) accessCostSlow(now int64, core, memNode, bytes int, kind AccessKind) int64 {
 	if bytes <= 0 {
 		return 0
 	}
-	t := m.Topo
-	if memNode < 0 || memNode >= t.NumNodes() {
+	if memNode < 0 || memNode >= m.nNodes {
 		panic(fmt.Sprintf("numa: access to invalid node %d", memNode))
 	}
-	m.stats.Accesses++
-	path := t.Path(core, memNode)
-
+	path := PathKind(m.pathTab[core*m.nNodes+memNode])
 	if kind == AccessCache && path == PathLocal {
-		m.stats.CacheBytes += uint64(bytes)
-		return int64(t.CacheLat + float64(bytes)/t.CacheBW)
+		m.countAcc[cacheIdx]++
+		m.bytesAcc[cacheIdx] += uint64(bytes)
+		if bytes&7 == 0 && bytes < tabWords*8 {
+			return m.cacheAccessTabI[bytes>>3]
+		}
+		return int64(m.cacheLat + float64(bytes)/m.cacheBW)
 	}
-	m.stats.BytesByPath[path] += uint64(bytes)
-
-	bw := t.Bandwidth(path)
-	lat := t.Latency(path)
-	budget := t.LocalBW * float64(m.EpochNs)
+	m.countAcc[path]++
+	m.bytesAcc[path] += uint64(bytes)
 
 	// Demand is accounted at cache-line granularity: a random 8-byte
 	// load still moves a full line across the interconnect, which is
@@ -137,14 +330,12 @@ func (m *Machine) AccessCost(now int64, core, memNode, bytes int, kind AccessKin
 
 	// Memory-controller contention at the home node applies to every
 	// DRAM access.
-	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, budget)
+	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, m.ctrlBudget)
 
 	// Remote transfers additionally contend for the target node's
 	// ingress links, whose budget is the remote path bandwidth.
 	if path == PathRemote {
-		rbudget := t.RemoteBW * float64(m.EpochNs)
-		rm := m.remote[memNode].charge(now, m.EpochNs, demand, rbudget)
-		if rm > mult {
+		if rm := m.remote[memNode].charge(now, m.EpochNs, demand, m.remoteBudget); rm > mult {
 			mult = rm
 		}
 	}
@@ -155,9 +346,20 @@ func (m *Machine) AccessCost(now int64, core, memNode, bytes int, kind AccessKin
 	// link. This is what makes scattered access to one node's memory
 	// stop scaling (the SMVM vector, §4.2-4.3).
 	if mult > 1 {
-		return int64((lat + demand/bw) * mult)
+		var base float64
+		if bytes&7 == 0 && bytes < tabWords*8 {
+			base = m.accessTabF[int(path)*tabWords+bytes>>3]
+		} else {
+			pc := &m.pathCost[path]
+			base = pc.lat + demand/pc.bw
+		}
+		return int64(base * mult)
 	}
-	return int64(lat + demand/bw)
+	if bytes&7 == 0 && bytes < tabWords*8 {
+		return m.accessTab[int(path)*tabWords+bytes>>3].costI
+	}
+	pc := &m.pathCost[path]
+	return int64(pc.lat + demand/pc.bw)
 }
 
 // CopyCost returns the cost of copying bytes from memory homed on srcNode to
@@ -172,30 +374,79 @@ func (m *Machine) CopyCost(now int64, core, srcNode, dstNode, bytes int, srcKind
 // StreamCost is AccessCost without the per-access latency: the cost model
 // for the object-at-a-time copy loops of the collector, whose consecutive
 // accesses are contiguous and prefetched. Contention accounting is
-// identical to AccessCost.
+// identical to AccessCost except that demand is not rounded up to a cache
+// line (streaming transfers move exactly their bytes). The wrapper is the
+// same inlinable uncontended fast path as AccessCost's.
 func (m *Machine) StreamCost(now int64, core, memNode, bytes int, kind AccessKind) int64 {
+	ub := uint(bytes)
+	if ub&7 == 0 && ub-8 <= tabWords*8-16 && uint(memNode) < m.nNodesU {
+		p := m.pathTab[uint(core)*m.nNodesU+uint(memNode)]
+		if kind == AccessCache {
+			if p == uint8(PathLocal) {
+				m.countAcc[cacheIdx]++
+				m.bytesAcc[cacheIdx] += uint64(bytes)
+				return m.cacheStreamTabI[ub>>3]
+			}
+		} else {
+			mt := &m.ctrl[memNode]
+			if uint64(now-mt.epochStart) < uint64(m.EpochNs) && mt.bytes <= m.ctrlBudget {
+				e := &m.streamTab[uint(p&3)*tabWords+ub>>3]
+				if p != uint8(PathRemote) {
+					m.countAcc[p&3]++
+					m.bytesAcc[p&3] += uint64(bytes)
+					mt.bytes += e.demand
+					return e.costI
+				}
+				rmt := &m.remote[memNode]
+				if uint64(now-rmt.epochStart) < uint64(m.EpochNs) && rmt.bytes <= m.remoteBudget {
+					m.countAcc[p&3]++
+					m.bytesAcc[p&3] += uint64(bytes)
+					mt.bytes += e.demand
+					rmt.bytes += e.demand
+					return e.costI
+				}
+			}
+		}
+	}
+	return m.streamCostSlow(now, core, memNode, bytes, kind)
+}
+
+// streamCostSlow is the full streaming charge.
+func (m *Machine) streamCostSlow(now int64, core, memNode, bytes int, kind AccessKind) int64 {
 	if bytes <= 0 {
 		return 0
 	}
-	t := m.Topo
-	m.stats.Accesses++
-	path := t.Path(core, memNode)
+	path := PathKind(m.pathTab[core*m.nNodes+memNode])
 	if kind == AccessCache && path == PathLocal {
-		m.stats.CacheBytes += uint64(bytes)
-		return int64(float64(bytes) / t.CacheBW)
+		m.countAcc[cacheIdx]++
+		m.bytesAcc[cacheIdx] += uint64(bytes)
+		if bytes&7 == 0 && bytes < tabWords*8 {
+			return m.cacheStreamTabI[bytes>>3]
+		}
+		return int64(float64(bytes) / m.cacheBW)
 	}
-	m.stats.BytesByPath[path] += uint64(bytes)
-	bw := t.Bandwidth(path)
-	budget := t.LocalBW * float64(m.EpochNs)
+	m.countAcc[path]++
+	m.bytesAcc[path] += uint64(bytes)
 	demand := float64(bytes)
-	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, budget)
+	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, m.ctrlBudget)
 	if path == PathRemote {
-		rbudget := t.RemoteBW * float64(m.EpochNs)
-		if rm := m.remote[memNode].charge(now, m.EpochNs, demand, rbudget); rm > mult {
+		if rm := m.remote[memNode].charge(now, m.EpochNs, demand, m.remoteBudget); rm > mult {
 			mult = rm
 		}
 	}
-	return int64(float64(bytes) / bw * mult)
+	if mult > 1 {
+		var base float64
+		if bytes&7 == 0 && bytes < tabWords*8 {
+			base = m.streamTabF[int(path)*tabWords+bytes>>3]
+		} else {
+			base = demand / m.pathCost[path].bw
+		}
+		return int64(base * mult)
+	}
+	if bytes&7 == 0 && bytes < tabWords*8 {
+		return m.streamTab[int(path)*tabWords+bytes>>3].costI
+	}
+	return int64(demand / m.pathCost[path].bw)
 }
 
 // CopyStreamCost is CopyCost with streaming (latency-free) accounting on
@@ -204,6 +455,66 @@ func (m *Machine) CopyStreamCost(now int64, core, srcNode, dstNode, bytes int, s
 	c := m.StreamCost(now, core, srcNode, bytes, srcKind)
 	c += m.StreamCost(now+c, core, dstNode, bytes, dstKind)
 	return c
+}
+
+// --- Batched charging ------------------------------------------------------
+
+// Meterless reports whether an access by core to memNode with the given
+// kind bypasses the contention meters entirely (own-cache traffic on a
+// node-local path). A meterless transfer's cost depends on nothing but its
+// size — not on virtual time and not on any meter state — which is what
+// makes fusing a run of them into a single engine charge exact: the caller
+// may accumulate CacheAccessCost/CacheStreamCost results and advance its
+// clock once, with a total bit-identical to charging each transfer
+// individually (each transfer keeps its own int64 truncation).
+// An out-of-range memNode reports false, sending the caller to
+// AccessCost/StreamCost, which validate and panic descriptively.
+func (m *Machine) Meterless(core, memNode int, kind AccessKind) bool {
+	return kind == AccessCache && uint(memNode) < m.nNodesU &&
+		m.pathTab[uint(core)*m.nNodesU+uint(memNode)] == uint8(PathLocal)
+}
+
+// CacheAccessCost charges one meterless access: exactly AccessCost's cache
+// branch, callable without a timestamp because the result is
+// time-independent. The caller must have established Meterless.
+func (m *Machine) CacheAccessCost(bytes int) int64 {
+	ub := uint(bytes)
+	if ub&7 == 0 && ub-8 <= tabWords*8-16 {
+		m.countAcc[cacheIdx]++
+		m.bytesAcc[cacheIdx] += uint64(bytes)
+		return m.cacheAccessTabI[ub>>3]
+	}
+	return m.cacheAccessSlow(bytes)
+}
+
+func (m *Machine) cacheAccessSlow(bytes int) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	m.countAcc[cacheIdx]++
+	m.bytesAcc[cacheIdx] += uint64(bytes)
+	return int64(m.cacheLat + float64(bytes)/m.cacheBW)
+}
+
+// CacheStreamCost charges one meterless streaming access: exactly
+// StreamCost's cache branch. The caller must have established Meterless.
+func (m *Machine) CacheStreamCost(bytes int) int64 {
+	ub := uint(bytes)
+	if ub&7 == 0 && ub-8 <= tabWords*8-16 {
+		m.countAcc[cacheIdx]++
+		m.bytesAcc[cacheIdx] += uint64(bytes)
+		return m.cacheStreamTabI[ub>>3]
+	}
+	return m.cacheStreamSlow(bytes)
+}
+
+func (m *Machine) cacheStreamSlow(bytes int) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	m.countAcc[cacheIdx]++
+	m.bytesAcc[cacheIdx] += uint64(bytes)
+	return int64(float64(bytes) / m.cacheBW)
 }
 
 // BandwidthTable formats Table 1 of the paper for this machine: the

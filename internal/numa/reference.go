@@ -1,0 +1,154 @@
+package numa
+
+// Reference is the retained straight-line implementation of the cost model:
+// per-access Topo.Path classification, switch-based bandwidth/latency
+// lookups, budgets recomputed on every charge, and no cached epoch bounds.
+// It computes exactly what Machine computes — Machine is a table-driven
+// fast path over this math, not an approximation — and exists so the
+// equivalence test (TestFastPathEquivalence) and the microbenchmarks can
+// hold the optimised implementation to bit-identical results. The only
+// intentional semantic shared with Machine but not with the original seed
+// code is the epoch-carry rule: residual overload decays by half per
+// elapsed epoch (see refMeter.charge).
+type Reference struct {
+	Topo    *Topology
+	EpochNs int64
+
+	ctrl   []refMeter
+	remote []refMeter
+
+	stats TrafficStats
+}
+
+// refMeter tracks demand against a byte budget within the current epoch.
+type refMeter struct {
+	epoch int64
+	bytes float64
+}
+
+// NewReference wraps a topology with fresh contention state.
+func NewReference(t *Topology) *Reference {
+	return &Reference{
+		Topo:    t,
+		EpochNs: 50_000,
+		ctrl:    make([]refMeter, t.NumNodes()),
+		remote:  make([]refMeter, t.NumNodes()),
+	}
+}
+
+// Reset clears contention state and traffic statistics.
+func (m *Reference) Reset() {
+	for i := range m.ctrl {
+		m.ctrl[i] = refMeter{}
+		m.remote[i] = refMeter{}
+	}
+	m.stats = TrafficStats{}
+}
+
+// Stats returns a copy of the accumulated traffic statistics.
+func (m *Reference) Stats() TrafficStats { return m.stats }
+
+// charge adds demand to a meter and returns the congestion multiplier in
+// effect for this transfer. On an epoch roll, residual overload decays by
+// half per elapsed epoch; a backward roll decays by one halving (the same
+// rule as meter.roll).
+func (mt *refMeter) charge(now int64, epochNs int64, bytes, budget float64) float64 {
+	e := now / epochNs
+	if e != mt.epoch {
+		gap := e - mt.epoch
+		over := mt.bytes - budget
+		mt.epoch = e
+		switch {
+		case over <= 0 || gap >= 63:
+			mt.bytes = 0
+		case gap < 1:
+			mt.bytes = over / 2
+		default:
+			mt.bytes = over / float64(int64(1)<<uint(gap))
+		}
+	}
+	mult := 1.0
+	if mt.bytes > budget {
+		mult += (mt.bytes - budget) / budget
+	}
+	mt.bytes += bytes
+	return mult
+}
+
+// AccessCost is Machine.AccessCost computed the straight-line way.
+func (m *Reference) AccessCost(now int64, core, memNode, bytes int, kind AccessKind) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	t := m.Topo
+	m.stats.Accesses++
+	path := t.Path(core, memNode)
+
+	if kind == AccessCache && path == PathLocal {
+		m.stats.CacheBytes += uint64(bytes)
+		return int64(t.CacheLat + float64(bytes)/t.CacheBW)
+	}
+	m.stats.BytesByPath[path] += uint64(bytes)
+
+	bw := t.Bandwidth(path)
+	lat := t.Latency(path)
+	budget := t.LocalBW * float64(m.EpochNs)
+
+	demand := float64(bytes)
+	if demand < lineBytes {
+		demand = lineBytes
+	}
+
+	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, budget)
+	if path == PathRemote {
+		rbudget := t.RemoteBW * float64(m.EpochNs)
+		if rm := m.remote[memNode].charge(now, m.EpochNs, demand, rbudget); rm > mult {
+			mult = rm
+		}
+	}
+
+	if mult > 1 {
+		return int64((lat + demand/bw) * mult)
+	}
+	return int64(lat + demand/bw)
+}
+
+// StreamCost is Machine.StreamCost computed the straight-line way.
+func (m *Reference) StreamCost(now int64, core, memNode, bytes int, kind AccessKind) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	t := m.Topo
+	m.stats.Accesses++
+	path := t.Path(core, memNode)
+	if kind == AccessCache && path == PathLocal {
+		m.stats.CacheBytes += uint64(bytes)
+		return int64(float64(bytes) / t.CacheBW)
+	}
+	m.stats.BytesByPath[path] += uint64(bytes)
+	bw := t.Bandwidth(path)
+	budget := t.LocalBW * float64(m.EpochNs)
+	demand := float64(bytes)
+	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, budget)
+	if path == PathRemote {
+		rbudget := t.RemoteBW * float64(m.EpochNs)
+		if rm := m.remote[memNode].charge(now, m.EpochNs, demand, rbudget); rm > mult {
+			mult = rm
+		}
+	}
+	return int64(float64(bytes) / bw * mult)
+}
+
+// CopyCost composes two AccessCosts, as Machine.CopyCost does.
+func (m *Reference) CopyCost(now int64, core, srcNode, dstNode, bytes int, srcKind, dstKind AccessKind) int64 {
+	c := m.AccessCost(now, core, srcNode, bytes, srcKind)
+	c += m.AccessCost(now+c, core, dstNode, bytes, dstKind)
+	return c
+}
+
+// CopyStreamCost composes two StreamCosts, as Machine.CopyStreamCost does.
+func (m *Reference) CopyStreamCost(now int64, core, srcNode, dstNode, bytes int, srcKind, dstKind AccessKind) int64 {
+	c := m.StreamCost(now, core, srcNode, bytes, srcKind)
+	c += m.StreamCost(now+c, core, dstNode, bytes, dstKind)
+	return c
+}
