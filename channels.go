@@ -1,8 +1,8 @@
 package manticore
 
-// CML-style synchronous channels (§2.1: "language-level visible threads and
-// synchronous message passing, providing a parallel implementation of
-// Concurrent ML's concurrency primitives").
+// CML-style channels (§2.1: "language-level visible threads and synchronous
+// message passing, providing a parallel implementation of Concurrent ML's
+// concurrency primitives").
 //
 // Channels are where object proxies earn their keep (§3.1 footnote 1): a
 // send enqueues a *proxy* for the message rather than promoting the message
@@ -10,53 +10,39 @@ package manticore
 // never leaves the local heap; only a cross-vproc rendezvous forces the
 // promotion. This is the lazy-promotion discipline applied to explicit
 // concurrency.
+//
+// All channel state lives in the simulated global heap, traced by the
+// collector: a channel is a heap record whose pending messages form a chain
+// of heap queue nodes, registered as a global root, so in-flight messages
+// survive minor, major and global collections. See internal/core/channel.go
+// for the representation and README.md for a worked example.
+//
+// The API, reached through the embedded core runtime:
+//
+//	ch := rt.NewChannel()          // unbounded mailbox
+//	mb := rt.NewMailbox(8)         // bounded: Send blocks while full
+//	ch.Send(w, slot)               // publish the object in a root slot
+//	a, ok := ch.TryRecv(w)         // non-blocking receive
+//	a := ch.Recv(w)                // blocking receive (parks a waiter)
+//	i, a := w.Select(ch1, ch2)     // blocking receive over several channels
+//	ch.RecvThen(w, env, fn)        // continuation receive (parks a task)
+//	w.SelectThen(chans, env, fn)   // continuation select
+//	ch.Close()                     // unpin the heap record (dynamic channels)
+//
+// Recv and Select park the calling stack frame and service the scheduler
+// while waiting; RecvThen and SelectThen park a *task* instead, which is the
+// shape to use for deep request/response topologies (a parked frame that
+// runs its own producer deadlocks; a parked task cannot).
 
-// Channel is a synchronous rendezvous channel carrying heap objects.
-type Channel struct {
-	rt *Runtime
-	// pending holds proxies for messages whose send has completed but
-	// whose receive has not yet happened. (A buffered mailbox
-	// approximates CML's acceptor queue; rendezvous cost is charged on
-	// both sides.)
-	pending []Addr
+import "repro/internal/core"
+
+// Channel is a channel carrying heap objects by proxy; state is
+// heap-resident and GC-traced. Constructed by Runtime.NewChannel /
+// Runtime.NewMailbox.
+type Channel = core.Channel
+
+// Select receives from whichever channel first has a message; it is
+// Worker.Select as a free function, for readability at call sites.
+func Select(w *Worker, chans ...*Channel) (int, Addr) {
+	return w.Select(chans...)
 }
-
-// NewChannel creates a channel.
-func (rt *Runtime) NewChannel() *Channel {
-	return &Channel{rt: rt}
-}
-
-// Send publishes the object held in the sender's root slot. The message is
-// wrapped in a proxy: no promotion happens yet.
-func (ch *Channel) Send(w *Worker, slot int) {
-	proxy := w.NewProxy(slot)
-	ch.pending = append(ch.pending, proxy)
-}
-
-// TryRecv receives a message if one is pending, resolving the proxy: if the
-// message was sent by this vproc it stays local; otherwise it is promoted
-// out of the sender's heap on demand. Returns (0, false) when empty.
-func (ch *Channel) TryRecv(w *Worker) (Addr, bool) {
-	if len(ch.pending) == 0 {
-		return 0, false
-	}
-	proxy := ch.pending[0]
-	ch.pending = ch.pending[1:]
-	return w.ProxyDeref(proxy), true
-}
-
-// Recv blocks (in virtual time) until a message arrives. The receiving
-// vproc services its scheduler obligations (steals, pending global
-// collections) while waiting, so channel waits cannot deadlock the
-// stop-the-world protocol.
-func (ch *Channel) Recv(w *Worker) Addr {
-	for {
-		if a, ok := ch.TryRecv(w); ok {
-			return a
-		}
-		w.ServiceScheduler()
-	}
-}
-
-// Len reports the number of pending messages.
-func (ch *Channel) Len() int { return len(ch.pending) }

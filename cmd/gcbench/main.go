@@ -11,6 +11,7 @@
 //	gcbench -machine amd48 -policy interleaved -threads 1,8,48 -bench dmm
 //	gcbench -all                      # Figures 4-7
 //	gcbench -all -j 8                 # ... with 8 sweep workers
+//	gcbench -server                   # message-passing server sweep (both machines, all policies)
 //	gcbench -baseline BENCH_v2.json   # record a perf baseline (JSON)
 //	gcbench -compare BENCH_v2.json    # fail on any virtual-time drift
 package main
@@ -37,6 +38,7 @@ func main() {
 	var (
 		figure   = flag.Int("figure", 0, "paper figure to regenerate (4-7)")
 		all      = flag.Bool("all", false, "regenerate all figures (4-7)")
+		server   = flag.Bool("server", false, "sweep the message-passing server workload (both machines, all three policies)")
 		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = default reduced sizes)")
 		machine  = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32)")
 		policy   = flag.String("policy", "local", "page placement policy (local, interleaved, single-node)")
@@ -85,6 +87,10 @@ func main() {
 	}
 
 	switch {
+	case *server:
+		for _, f := range bench.RunServerFigures(opt) {
+			fmt.Println(f.Render())
+		}
 	case *all:
 		for id := 4; id <= 7; id++ {
 			f, err := bench.RunFigure(id, opt)

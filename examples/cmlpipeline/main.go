@@ -1,8 +1,17 @@
 // cmlpipeline demonstrates the explicit-concurrency side of the runtime
-// (§2.1, §3.1): CML-style synchronous channels whose messages are passed by
-// *object proxy*. A proxy lets the global heap refer back into the sender's
-// local heap, so a message is promoted only if the receiver turns out to be
-// a different vproc — same-vproc rendezvous never touches the global heap.
+// (§2.1, §3.1): CML-style channels whose messages are passed by *object
+// proxy*. A proxy lets the global heap refer back into the sender's local
+// heap, so a message is promoted only if the receiver turns out to be a
+// different vproc — same-vproc rendezvous never touches the global heap.
+// Channel state itself (the pending-message queue) lives in the simulated
+// global heap, so in-flight messages survive any collection.
+//
+// Two phases:
+//
+//  1. a blocking request/reply pipeline (Send / Recv), the classic shape;
+//  2. a small server pool driven by continuation receives (SelectThen over
+//     a high- and a low-priority mailbox): receivers park *tasks*, not
+//     stack frames, so the topology is deadlock-free at any vproc count.
 package main
 
 import (
@@ -19,10 +28,17 @@ func main() {
 	replies := rt.NewChannel()
 	const jobs = 64
 
-	var sum uint64
+	// Phase 2 channels: a bounded high-priority lane and an unbounded
+	// low-priority lane, served by a Select that prefers the former.
+	hi := rt.NewMailbox(8)
+	lo := rt.NewChannel()
+	done := rt.NewChannel()
+	const poolJobs = 32
+
+	var sum, poolSum uint64
 	rt.Run(func(w *manticore.Worker) {
-		// A server task: receives a boxed number, replies with its
-		// square. Runs wherever the scheduler places it — typically
+		// Phase 1 — a server task: receives a boxed number, replies with
+		// its square. Runs wherever the scheduler places it — typically
 		// stolen by an idle vproc, which is what forces promotion.
 		server := w.Spawn(func(w *manticore.Worker, _ manticore.Env) {
 			for i := 0; i < jobs; i++ {
@@ -45,11 +61,61 @@ func main() {
 			sum += w.LoadWord(got, 0)
 		}
 		w.Join(server)
+
+		// Phase 2 — a two-worker pool, each worker a continuation chain:
+		// Select a job (high-priority lane first), accumulate, ack.
+		var serve func(w *manticore.Worker, quota int)
+		serve = func(w *manticore.Worker, quota int) {
+			if quota == 0 {
+				return
+			}
+			w.SelectThen([]*manticore.Channel{hi, lo}, nil,
+				func(w *manticore.Worker, _ manticore.Env, which int, msg manticore.Addr) {
+					v := w.LoadWord(msg, 0)
+					if which == 0 {
+						v *= 10 // high-priority jobs count tenfold
+					}
+					ack := w.AllocRaw([]uint64{v})
+					as := w.PushRoot(ack)
+					done.Send(w, as)
+					w.PopRoots(1)
+					serve(w, quota-1)
+				})
+		}
+		for s := 0; s < 2; s++ {
+			w.Spawn(func(sw *manticore.Worker, _ manticore.Env) {
+				serve(sw, poolJobs/2)
+			})
+		}
+		for i := 0; i < poolJobs; i++ {
+			msg := w.AllocRaw([]uint64{uint64(i + 1)})
+			ms := w.PushRoot(msg)
+			if i%4 == 0 {
+				hi.Send(w, ms)
+			} else {
+				lo.Send(w, ms)
+			}
+			w.PopRoots(1)
+		}
+		var collect func(w *manticore.Worker, remaining int)
+		collect = func(w *manticore.Worker, remaining int) {
+			if remaining == 0 {
+				return
+			}
+			done.RecvThen(w, nil, func(w *manticore.Worker, _ manticore.Env, msg manticore.Addr) {
+				poolSum += w.LoadWord(msg, 0)
+				collect(w, remaining-1)
+			})
+		}
+		collect(w, poolJobs)
 	})
 
 	stats := rt.TotalStats()
 	fmt.Printf("sum of squares 1..%d = %d\n", jobs, sum)
+	fmt.Printf("pool sum (hi-priority x10) = %d over %d jobs\n", poolSum, poolJobs)
 	fmt.Printf("promotions: %d (%d words) — messages crossed vprocs %d times\n",
 		stats.Promotions, stats.PromotedWords, stats.Promotions)
+	fmt.Printf("channel traffic: %d sends, %d receives, %d direct handoffs\n",
+		stats.ChanSends, stats.ChanRecvs, stats.ChanHandoffs)
 	fmt.Printf("steals: %d, minor GCs: %d\n", stats.Steals, stats.MinorGCs)
 }

@@ -29,6 +29,9 @@ var AMDThreads = []int{1, 4, 8, 12, 24, 36, 48}
 // FigureBenchmarks are the five benchmarks of Figures 4-7, in legend order.
 var FigureBenchmarks = []string{"dmm", "raytracer", "quicksort", "barnes-hut", "smvm"}
 
+// ServerFigureID labels the server-workload sweep (not a paper figure).
+const ServerFigureID = 8
+
 // Series is one benchmark's speedup curve.
 type Series struct {
 	Benchmark string
@@ -184,6 +187,32 @@ func RunFigure(id int, opt Options) (Figure, error) {
 	}
 }
 
+// RunServerFigures sweeps the message-passing server workload over both
+// machine presets under all three page-placement policies — the "millions
+// of users" traffic shape next to the paper's compute benchmarks. Each
+// sweep is a Figure; results are deterministic for any worker count.
+func RunServerFigures(opt Options) []Figure {
+	opt.Benchmarks = []string{"server"}
+	opt.BaselineNs = nil
+	machines := []struct {
+		topo    *numa.Topology
+		threads []int
+	}{
+		{numa.AMD48(), AMDThreads},
+		{numa.Intel32(), IntelThreads},
+	}
+	policies := []mempage.Policy{mempage.PolicyLocal, mempage.PolicyInterleaved, mempage.PolicySingleNode}
+	var out []Figure
+	for _, m := range machines {
+		for _, pol := range policies {
+			f := Sweep(m.topo, pol, m.threads, opt)
+			f.ID = ServerFigureID
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // Render formats a figure as the text table the harness reports.
 func (f Figure) Render() string {
 	var b strings.Builder
@@ -194,7 +223,11 @@ func (f Figure) Render() string {
 		7: "Figure 7: speedups, AMD 48-core, socket-zero allocation",
 	}[f.ID]
 	if title == "" {
-		title = fmt.Sprintf("Sweep: %s, %s allocation", f.Machine, f.Policy)
+		if f.ID == ServerFigureID {
+			title = fmt.Sprintf("Server workload: %s, %s allocation", f.Machine, f.Policy)
+		} else {
+			title = fmt.Sprintf("Sweep: %s, %s allocation", f.Machine, f.Policy)
+		}
 	}
 	fmt.Fprintf(&b, "%s\n", title)
 	if len(f.Series) == 0 {

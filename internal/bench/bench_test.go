@@ -123,3 +123,25 @@ func TestDeterministicSweep(t *testing.T) {
 		t.Errorf("sweep not deterministic: %d vs %d", a.Series[0].ElapsedNs[0], b.Series[0].ElapsedNs[0])
 	}
 }
+
+func TestServerFiguresDeterministicAcrossWorkers(t *testing.T) {
+	// The acceptance gate for the server figure: the whole sweep (both
+	// machines, all three policies) must be bit-identical at any -j.
+	serial := RunServerFigures(Options{Scale: 0.25, Workers: 1})
+	parallel := RunServerFigures(Options{Scale: 0.25, Workers: 4})
+	if len(serial) != 6 || len(parallel) != 6 {
+		t.Fatalf("expected 6 server figures, got %d and %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.ID != ServerFigureID || a.Machine != b.Machine || a.Policy != b.Policy {
+			t.Fatalf("figure %d metadata differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Series[0].ElapsedNs {
+			if a.Series[0].ElapsedNs[j] != b.Series[0].ElapsedNs[j] {
+				t.Errorf("%s %s p=%d: serial %d ns, parallel %d ns", a.Machine, a.Policy,
+					a.Series[0].Threads[j], a.Series[0].ElapsedNs[j], b.Series[0].ElapsedNs[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,569 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/numa"
+)
+
+// CML-style channels (§2.1: "language-level visible threads and synchronous
+// message passing, providing a parallel implementation of Concurrent ML's
+// concurrency primitives"). Channels are where object proxies earn their
+// keep (§3.1 footnote 1): a send enqueues a *proxy* for the message rather
+// than promoting the message up front. If the matching receive happens on
+// the same vproc, the message never leaves the local heap; only a
+// cross-vproc rendezvous forces the promotion.
+//
+// All channel state that refers to the heap lives IN the simulated global
+// heap, where the collector can see it: a channel is a mixed-type record
+// (count, head, tail) whose pending messages hang off a chain of queue
+// nodes, every link a traced pointer. The record's address is registered as
+// a global root, so global collections forward the record, the chain, and
+// the message proxies together — an in-flight message survives any number
+// of minor, major, and global collections. (The alternative — keeping the
+// pending proxies in a host-side Go slice — breaks exactly there: the
+// collector forwards the proxy through the owner's registry, but the
+// untracked copy keeps naming the from-space chunk, which is zeroed and
+// reused after the collection.)
+//
+// Host-side state on the Channel struct is restricted to things the
+// collector never traces: the capacity bound and the ring of parked
+// receivers, which hold root-slot indices and task environments — both
+// forwarded by their owning vproc's collections — never raw addresses.
+
+// Channel record payload layout (mixed descriptor, registered once per
+// runtime on first use).
+const (
+	// chanCountSlot holds the number of pending messages (raw).
+	chanCountSlot = 0
+	// chanHeadSlot points at the oldest queue node, or nil.
+	chanHeadSlot = 1
+	// chanTailSlot points at the newest queue node, or nil.
+	chanTailSlot = 2
+	// chanSizeWords is the record payload size.
+	chanSizeWords = 3
+
+	// Queue nodes are 2-word vectors: [message proxy, next node].
+	qnodeMsgSlot   = 0
+	qnodeNextSlot  = 1
+	qnodeSizeWords = 2
+)
+
+// Channel is a mailbox channel carrying heap objects by proxy. The zero
+// capacity means unbounded; a bounded channel (NewMailbox) blocks senders
+// while full. Receives are FIFO over the pending chain.
+type Channel struct {
+	rt *Runtime
+	// cap bounds the pending-message count; 0 means unbounded.
+	cap int
+	// addr is the channel record in the global heap, registered as a
+	// global root (collections update it in place). It stays 0 until the
+	// first operation so channels can be created before Run starts.
+	addr heap.Addr
+	// waiters is the FIFO ring of parked receivers (blocking waiters and
+	// parked continuations). Entries hold no heap addresses.
+	waiters rendezvousRing
+}
+
+// NewChannel creates an unbounded channel (CML acceptor-queue style).
+func (rt *Runtime) NewChannel() *Channel { return &Channel{rt: rt} }
+
+// NewMailbox creates a bounded channel: Send blocks (in virtual time) while
+// capacity messages are pending.
+func (rt *Runtime) NewMailbox(capacity int) *Channel {
+	if capacity < 1 {
+		panic(fmt.Sprintf("core: mailbox capacity %d must be >= 1", capacity))
+	}
+	return &Channel{rt: rt, cap: capacity}
+}
+
+// channelDesc lazily registers the channel record descriptor.
+func (rt *Runtime) channelDesc() uint16 {
+	if rt.chanDesc == 0 {
+		rt.chanDesc = rt.Descs.Register("channel", chanSizeWords, []int{chanHeadSlot, chanTailSlot})
+	}
+	return rt.chanDesc
+}
+
+// record returns the channel record's current address, allocating it in the
+// global heap on first use. The record is pinned via the runtime's global
+// roots, so its address is rewritten in place by global collections; between
+// safepoints it is stable.
+func (ch *Channel) record(vp *VProc) heap.Addr {
+	if vp.rt != ch.rt {
+		panic("core: channel used with a vproc of a different runtime")
+	}
+	if ch.addr == 0 {
+		rt := ch.rt
+		// The chunk reservation may advance time and hand control to
+		// another vproc whose first operation on this same channel also
+		// finds addr == 0 — without the re-check below, the loser would
+		// clobber the winner's record and orphan its pending messages.
+		dst := rt.globalAllocDst(vp, chanSizeWords)
+		if ch.addr == 0 {
+			a := dst.Bump(heap.MakeHeader(rt.channelDesc(), chanSizeWords))
+			p := rt.Space.Payload(a)
+			p[chanCountSlot], p[chanHeadSlot], p[chanTailSlot] = 0, 0, 0
+			ch.addr = a
+			rt.RegisterGlobalRoot(&ch.addr)
+			// Charge only after the record is committed and visible.
+			node := rt.Space.NodeOf(a)
+			vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, (chanSizeWords+1)*8, numa.AccessMemory))
+		}
+	}
+	return ch.addr
+}
+
+// Len reports the number of pending messages (diagnostic; uncharged).
+func (ch *Channel) Len() int {
+	if ch.addr == 0 {
+		return 0
+	}
+	return int(ch.rt.Space.Payload(ch.addr)[chanCountSlot])
+}
+
+// Cap reports the capacity bound (0 = unbounded).
+func (ch *Channel) Cap() int { return ch.cap }
+
+// Close releases the channel's heap record: the global-root registration is
+// removed and the pending chain's message proxies are deregistered from
+// their senders, so the record, the chain, the proxies, and any unreceived
+// payloads become garbage for the collections that follow. Without Close,
+// every channel ever created stays live forever (dynamically created
+// channels — e.g. one reply channel per request — would grow the root set
+// and the global heap without bound). Closing a channel with parked
+// receivers is a programming error (they would never be woken) and panics;
+// a closed channel may be reused, starting empty.
+func (ch *Channel) Close() {
+	// pop drains stale (already claimed elsewhere) registrations and
+	// reports a live one.
+	if _, _, ok := ch.waiters.pop(); ok {
+		panic("core: Close of a channel with parked receivers")
+	}
+	if ch.addr == 0 {
+		return
+	}
+	rt := ch.rt
+	// Deregister the proxies of unreceived messages from their senders:
+	// each was registered at Send and would otherwise stay a GC root of
+	// its owner (retaining the payload) for the life of the run, even
+	// though the only path to it is this dying chain.
+	p := rt.Space.Payload(ch.addr)
+	for n := heap.Addr(p[chanHeadSlot]); n != 0; {
+		np := rt.Space.Payload(n)
+		proxy := heap.Addr(np[qnodeMsgSlot])
+		pp := rt.Space.Payload(proxy)
+		owner := rt.VProcs[pp[heap.ProxyOwnerSlot]]
+		if _, ok := owner.proxyIdx[proxy]; ok {
+			owner.dropProxy(proxy)
+		}
+		n = heap.Addr(np[qnodeNextSlot])
+	}
+	rt.unregisterGlobalRoot(&ch.addr)
+	ch.addr = 0
+}
+
+// Send publishes the object held in the sender's root slot. The message is
+// wrapped in a proxy: no promotion happens yet. If a receiver is parked on
+// the channel the proxy is handed to it directly (the rendezvous); otherwise
+// it is enqueued on the heap-resident pending chain. On a bounded channel
+// Send first waits, servicing scheduler obligations, until a slot is free.
+func (ch *Channel) Send(vp *VProc, slot int) {
+	rt := ch.rt
+	ch.record(vp)
+	// The proxy rides in a root slot for the duration: the bounded-full
+	// wait below services the scheduler, which can participate in a global
+	// collection that moves the proxy — a raw Go copy of the address would
+	// go stale (the exact bug class heap-resident channels exist to fix).
+	ps := vp.PushRoot(vp.NewProxy(slot))
+	vp.Stats.ChanSends++
+	// Every observe-act pair below is advance-free: the probe charge (and
+	// the queue-node chunk request) may hand control to other vprocs, so
+	// both the parked-receiver check and the capacity check are re-run
+	// after any advance, and the final commit (bump + link + count) is a
+	// single unadvanced segment.
+	for {
+		rec := ch.addr // collections update the registered root in place
+		if rec == 0 {
+			panic("core: Send on a channel closed while the send was in flight")
+		}
+		vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(rec), 16, numa.AccessMemory))
+		// Hand off to a parked receiver only while the pending chain is
+		// empty: a waiter can coexist with pending messages (a Select
+		// registers before it probes the chains), and handing it the NEW
+		// message would overtake the queued ones, breaking FIFO. With a
+		// non-empty chain the waiter's own probe finds the head.
+		if rt.Space.Payload(rec)[chanHeadSlot] == 0 {
+			if r, which, ok := ch.waiters.pop(); ok {
+				vp.Stats.ChanHandoffs++
+				proxy := vp.Root(ps)
+				vp.PopRoots(1)
+				ch.deliver(vp, r, which, proxy)
+				return
+			}
+		}
+		if ch.cap > 0 && int(rt.Space.Payload(rec)[chanCountSlot]) >= ch.cap {
+			// Bounded mailbox full: wait in virtual time, servicing
+			// scheduler obligations (a receiver must be able to run).
+			vp.ServiceScheduler()
+			continue
+		}
+		// Reserve chunk room for the queue node; the request may advance
+		// (chunk-pool synchronization), so a receiver may have parked or
+		// another sender may have taken the last capacity slot meanwhile
+		// — re-check everything before committing.
+		dst := rt.globalAllocDst(vp, qnodeSizeWords)
+		rec = ch.addr
+		if rec == 0 {
+			panic("core: Send on a channel closed while the send was in flight")
+		}
+		p := rt.Space.Payload(rec)
+		if heap.Addr(p[chanHeadSlot]) == 0 {
+			if r, which, ok := ch.waiters.pop(); ok {
+				vp.Stats.ChanHandoffs++
+				proxy := vp.Root(ps)
+				vp.PopRoots(1)
+				ch.deliver(vp, r, which, proxy)
+				return
+			}
+		}
+		if ch.cap > 0 && int(p[chanCountSlot]) >= ch.cap {
+			continue
+		}
+		// Commit: bump the node and link it, with no advance until the
+		// queue is consistent.
+		nd := dst.Bump(heap.MakeHeader(heap.IDVector, qnodeSizeWords))
+		np := rt.Space.Payload(nd)
+		np[qnodeMsgSlot] = uint64(vp.Root(ps))
+		np[qnodeNextSlot] = 0
+		vp.PopRoots(1)
+		tail := heap.Addr(p[chanTailSlot])
+		linkNode := rt.Space.NodeOf(rec)
+		if tail != 0 {
+			rt.Space.Payload(tail)[qnodeNextSlot] = uint64(nd)
+			linkNode = rt.Space.NodeOf(tail)
+		} else {
+			p[chanHeadSlot] = uint64(nd)
+		}
+		p[chanTailSlot] = uint64(nd)
+		p[chanCountSlot]++
+		// One fused charge: node init, the link store, and the record
+		// writeback. Nothing is observable between those stores.
+		vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(nd), (qnodeSizeWords+1)*8, numa.AccessMemory) +
+			rt.Machine.AccessCost(vp.Now(), vp.Core, linkNode, 8, numa.AccessMemory) +
+			rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(rec), 24, numa.AccessMemory))
+		return
+	}
+}
+
+// popPending unlinks the head queue node and returns its message proxy; the
+// caller has already observed head != 0 with no intervening advance.
+func (ch *Channel) popPending(vp *VProc, head heap.Addr) heap.Addr {
+	rt := ch.rt
+	rec := ch.addr
+	p := rt.Space.Payload(rec)
+	np := rt.Space.Payload(head)
+	proxy := heap.Addr(np[qnodeMsgSlot])
+	next := heap.Addr(np[qnodeNextSlot])
+	p[chanHeadSlot] = uint64(next)
+	if next == 0 {
+		p[chanTailSlot] = 0
+	}
+	p[chanCountSlot]--
+	// Node read plus record writeback, fused (the node itself becomes
+	// garbage for the next global collection).
+	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(head), qnodeSizeWords*8, numa.AccessMemory) +
+		rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(rec), 24, numa.AccessMemory))
+	return proxy
+}
+
+// TryRecv receives a message if one is pending, resolving the proxy: if the
+// message was sent by this vproc it stays local; otherwise it is promoted
+// out of the sender's heap on demand. Returns (0, false) when empty.
+func (ch *Channel) TryRecv(vp *VProc) (heap.Addr, bool) {
+	if ch.addr == 0 {
+		return 0, false
+	}
+	rt := ch.rt
+	rec := ch.record(vp)
+	// Charge the probe, then observe.
+	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(rec), 16, numa.AccessMemory))
+	head := heap.Addr(rt.Space.Payload(rec)[chanHeadSlot])
+	if head == 0 {
+		return 0, false
+	}
+	proxy := ch.popPending(vp, head)
+	vp.Stats.ChanRecvs++
+	return vp.consumeProxy(proxy), true
+}
+
+// Recv blocks (in virtual time) until a message arrives. An empty channel
+// parks the receiver on the waiter ring; the next Send hands its proxy
+// directly to the parked slot (the rendezvous) instead of touching the
+// pending chain. While parked the vproc services its scheduler obligations
+// (pending tasks, steals, global collections), so channel waits cannot
+// stall the stop-the-world protocol.
+//
+// The wait runs queued tasks, so a Recv whose message can only be produced
+// by a task *below it on this vproc's own stack* cannot complete; deep
+// nested topologies should use RecvThen/SelectThen, which park a
+// continuation task instead of a stack frame.
+func (ch *Channel) Recv(vp *VProc) heap.Addr {
+	if a, ok := ch.TryRecv(vp); ok {
+		return a
+	}
+	// Park: the root slot receives the proxy; collections of this vproc
+	// keep the slot current while we wait.
+	slot := vp.PushRoot(0)
+	r := &rendezvous{vp: vp, slot: slot}
+	ch.waiters.push(r, 0)
+	for !r.ready {
+		vp.ServiceScheduler()
+	}
+	proxy := vp.roots[slot]
+	vp.PopRoots(1)
+	vp.Stats.ChanRecvs++
+	return vp.consumeProxy(proxy)
+}
+
+// Select receives from whichever of the channels first has a message,
+// returning the channel's index and the resolved message. Pending messages
+// are taken in argument order; otherwise the vproc parks one rendezvous on
+// every channel and the first Send claims it (stale registrations are
+// skipped lazily by later sends). The same stack-nesting caveat as Recv
+// applies; SelectThen is the continuation form.
+func (vp *VProc) Select(chans ...*Channel) (int, heap.Addr) {
+	if len(chans) == 0 {
+		panic("core: Select over no channels")
+	}
+	rt := vp.rt
+	// Register on every channel BEFORE probing the pending chains: a Send
+	// during one channel's probe charge then either sees the waiter (and
+	// delivers) or enqueued before registration — in which case the probe
+	// below finds it. Probing first would open a lost-wakeup window: a
+	// message enqueued on an already-probed channel while a later probe's
+	// advance runs would strand the parked waiter forever.
+	slot := vp.PushRoot(0)
+	r := &rendezvous{vp: vp, slot: slot}
+	for i, ch := range chans {
+		ch.waiters.push(r, i)
+	}
+	for i, ch := range chans {
+		if ch.addr == 0 {
+			continue
+		}
+		rec := ch.record(vp)
+		vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(rec), 16, numa.AccessMemory))
+		if r.ready {
+			break // a sender delivered during the probe charge
+		}
+		head := heap.Addr(rt.Space.Payload(rec)[chanHeadSlot])
+		if head == 0 {
+			continue
+		}
+		// Claim our own rendezvous (senders skip it from here on; no
+		// advance separates the claim from the pop, so no delivery can
+		// interleave) and take the pending message.
+		r.claimed = true
+		proxy := ch.popPending(vp, head)
+		vp.PopRoots(1)
+		vp.Stats.ChanRecvs++
+		return i, vp.consumeProxy(proxy)
+	}
+	for !r.ready {
+		vp.ServiceScheduler()
+	}
+	proxy := vp.roots[slot]
+	which := r.which
+	vp.PopRoots(1)
+	vp.Stats.ChanRecvs++
+	return which, vp.consumeProxy(proxy)
+}
+
+// RecvThen registers a continuation for the channel's next message: when it
+// arrives (possibly immediately), fn runs as a task on this vproc's queue
+// with the captured env and the resolved message. Unlike Recv, nothing
+// blocks — the parked continuation is a task, not a stack frame, so
+// arbitrarily deep request/response topologies cannot wedge the scheduler.
+func (ch *Channel) RecvThen(vp *VProc, env []heap.Addr, fn func(vp *VProc, env Env, msg heap.Addr)) {
+	vp.SelectThen([]*Channel{ch}, env, func(vp *VProc, e Env, _ int, msg heap.Addr) {
+		fn(vp, e, msg)
+	})
+}
+
+// SelectThen is the continuation form of Select: fn runs as a task once any
+// of the channels delivers, receiving the winning channel's index and the
+// resolved message. The captured env addresses are GC roots of this vproc
+// while the continuation is parked (they are forwarded by every collection,
+// exactly like a queued task's environment).
+func (vp *VProc) SelectThen(chans []*Channel, env []heap.Addr, fn func(vp *VProc, env Env, which int, msg heap.Addr)) {
+	if len(chans) == 0 {
+		panic("core: SelectThen over no channels")
+	}
+	rt := vp.rt
+	// The continuation is outstanding work from this instant: the runtime
+	// must not quiesce while it is parked.
+	rt.outstanding++
+	// Register before probing — same lost-wakeup discipline as Select:
+	// the captured environment is rooted (vp.parked) before the first
+	// probe advance, and a message enqueued before registration is found
+	// by the probe below.
+	r := &rendezvous{owner: vp, env: append([]heap.Addr(nil), env...), fn: fn}
+	vp.parked = append(vp.parked, r)
+	for i, ch := range chans {
+		ch.waiters.push(r, i)
+	}
+	for i, ch := range chans {
+		if ch.addr == 0 {
+			continue
+		}
+		rec := ch.record(vp)
+		vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(rec), 16, numa.AccessMemory))
+		if r.claimed {
+			return // a sender delivered during the probe charge
+		}
+		head := heap.Addr(rt.Space.Payload(rec)[chanHeadSlot])
+		if head == 0 {
+			continue
+		}
+		r.claimed = true
+		vp.removeParked(r)
+		proxy := ch.popPending(vp, head)
+		vp.queue.pushBottom(contTask(vp, r.env, proxy, i, fn))
+		return
+	}
+}
+
+// contTask builds the task that resumes a receive continuation: the message
+// proxy rides as the last environment entry (traced while queued, promoted
+// if the task is stolen) and is resolved by the executing vproc.
+func contTask(owner *VProc, env []heap.Addr, proxy heap.Addr, which int, fn func(vp *VProc, env Env, which int, msg heap.Addr)) *Task {
+	tenv := make([]heap.Addr, len(env)+1)
+	copy(tenv, env)
+	tenv[len(env)] = proxy
+	return &Task{owner: owner.ID, env: tenv, Fn: func(vp *VProc, e Env) {
+		msg := vp.consumeProxy(e.Get(vp, e.n-1))
+		vp.Stats.ChanRecvs++
+		fn(vp, Env{base: e.base, n: e.n - 1}, which, msg)
+	}}
+}
+
+// consumeProxy resolves a received message proxy, deregistering it from its
+// owner: channel receives consume the proxy exactly once, so keeping it
+// registered would leave the message a permanent GC root of the sender —
+// same-vproc traffic would retain and re-copy every consumed payload in all
+// subsequent collections. The cross-vproc path (ProxyDeref) already
+// deregisters on promotion; this handles the same-vproc case.
+func (vp *VProc) consumeProxy(proxy heap.Addr) heap.Addr {
+	rt := vp.rt
+	proxy = vp.resolve(proxy)
+	p := rt.Space.Payload(proxy)
+	owner := rt.VProcs[p[heap.ProxyOwnerSlot]]
+	if owner == vp && heap.Addr(p[heap.ProxyGlobalSlot]) == 0 {
+		node := rt.Space.NodeOf(proxy)
+		vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, heap.ProxySizeWords*8, numa.AccessMemory))
+		a := vp.resolve(heap.Addr(p[heap.ProxyLocalSlot]))
+		vp.dropProxy(proxy)
+		return a
+	}
+	return vp.ProxyDeref(proxy)
+}
+
+// deliver completes a rendezvous on the sender's side: a blocking waiter
+// gets the proxy deposited into its parked root slot; a parked continuation
+// is unregistered and materialized as a task on its owner's queue. Both are
+// charged as one vproc signal.
+func (ch *Channel) deliver(vp *VProc, r *rendezvous, which int, proxy heap.Addr) {
+	r.claimed = true
+	if r.fn == nil {
+		r.vp.roots[r.slot] = proxy
+		r.which = which
+		r.ready = true
+		vp.advance(ch.rt.Cfg.SignalVProcNs)
+		return
+	}
+	o := r.owner
+	o.removeParked(r)
+	// The continuation was counted in rt.outstanding when it parked;
+	// queuing the task transfers that count, it does not add to it.
+	o.queue.pushBottom(contTask(o, r.env, proxy, which, r.fn))
+	vp.advance(ch.rt.Cfg.SignalVProcNs)
+}
+
+// rendezvous is one parked receiver: either a blocking waiter (vp/slot set;
+// the sender deposits the proxy into the root slot and flips ready) or a
+// parked continuation (owner/env/fn set; the sender queues the continuation
+// task on the owner). A rendezvous registered on several channels (Select)
+// is claimed exactly once; stale ring entries are skipped.
+type rendezvous struct {
+	claimed bool
+
+	// Blocking waiter.
+	vp    *VProc
+	slot  int
+	which int
+	ready bool
+
+	// Parked continuation. env holds captured heap references; they are
+	// local-GC roots of owner while parked (see forwardLocalRoots and
+	// globalScanRoots).
+	owner *VProc
+	env   []heap.Addr
+	fn    func(vp *VProc, env Env, which int, msg heap.Addr)
+}
+
+// removeParked unregisters a delivered continuation, preserving the order of
+// the remaining entries (collections iterate the list; order must be
+// deterministic).
+func (vp *VProc) removeParked(r *rendezvous) {
+	for i, q := range vp.parked {
+		if q == r {
+			vp.parked = append(vp.parked[:i], vp.parked[i+1:]...)
+			return
+		}
+	}
+	panic("core: parked continuation not registered with its owner")
+}
+
+// rendezvousRing is a FIFO ring buffer of parked receivers. A ring (rather
+// than a re-sliced Go slice) releases popped entries immediately instead of
+// pinning them in the backing array — the same fix the task deque got.
+type rendezvousRing struct {
+	buf  []ringEntry
+	head int
+	n    int
+}
+
+type ringEntry struct {
+	r     *rendezvous
+	which int
+}
+
+func (q *rendezvousRing) push(r *rendezvous, which int) {
+	if q.n == len(q.buf) {
+		nb := make([]ringEntry, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = nb
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = ringEntry{r, which}
+	q.n++
+}
+
+// pop returns the oldest unclaimed rendezvous, discarding entries whose
+// rendezvous was already claimed through another channel.
+func (q *rendezvousRing) pop() (*rendezvous, int, bool) {
+	for q.n > 0 {
+		e := q.buf[q.head]
+		q.buf[q.head] = ringEntry{}
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		if !e.r.claimed {
+			return e.r, e.which, true
+		}
+	}
+	return nil, 0, false
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+)
+
+// TestChannelMessageSurvivesGlobalGC is the regression test for the headline
+// bug of this change: a sent-but-unreceived message must survive a *global*
+// collection. The seed representation kept the pending proxies in a plain Go
+// slice the collector never traced: globalScanRoots forwarded the owner's
+// proxy registry, but the channel's copy kept naming the from-space chunk,
+// which is zeroed and reused after the collection — Recv then dereferenced a
+// stale address. With channel state heap-resident (and the proxy local slot
+// forwarded when a preceding major collection promoted the message), the
+// message is forwarded with everything else.
+func TestChannelMessageSurvivesGlobalGC(t *testing.T) {
+	cfg := stressConfig(1)
+	cfg.GlobalTriggerWords = 4 * cfg.ChunkWords
+	rt := MustNewRuntime(cfg)
+	ch := rt.NewChannel()
+	rt.Run(func(vp *VProc) {
+		msg := vp.AllocRaw([]uint64{0xDEAD, 0xBEEF, 42})
+		s := vp.PushRoot(msg)
+		ch.Send(vp, s)
+		vp.PopRoots(1) // the channel is now the only path to the message
+
+		// Force several global collections while the message is pending:
+		// promote garbage trees until the trigger fires, with churn so
+		// minor/major phases interleave.
+		for i := 0; i < 8; i++ {
+			b := buildTree(vp, 6, uint64(i))
+			bs := vp.PushRoot(b)
+			vp.PromoteRoot(bs)
+			vp.PopRoots(1)
+			churn(vp, 500, 6)
+		}
+
+		got, ok := ch.TryRecv(vp)
+		if !ok {
+			t.Fatal("pending message lost")
+		}
+		if vp.LoadWord(got, 0) != 0xDEAD || vp.LoadWord(got, 1) != 0xBEEF || vp.LoadWord(got, 2) != 42 {
+			t.Error("message corrupted across global collections")
+		}
+	})
+	if rt.Stats.GlobalGCs == 0 {
+		t.Fatal("test did not force a global collection")
+	}
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}
+
+// TestChannelManyPendingAcrossGlobalGC stresses the heap-resident queue
+// chain itself: many messages of mixed sizes pending across collections,
+// received in FIFO order afterwards.
+func TestChannelManyPendingAcrossGlobalGC(t *testing.T) {
+	cfg := stressConfig(1)
+	cfg.GlobalTriggerWords = 4 * cfg.ChunkWords
+	rt := MustNewRuntime(cfg)
+	ch := rt.NewChannel()
+	const n = 40
+	rt.Run(func(vp *VProc) {
+		for i := 0; i < n; i++ {
+			words := make([]uint64, 1+i%7)
+			for j := range words {
+				words[j] = uint64(i)<<8 | uint64(j)
+			}
+			m := vp.AllocRaw(words)
+			s := vp.PushRoot(m)
+			ch.Send(vp, s)
+			vp.PopRoots(1)
+			if i%4 == 0 {
+				b := buildTree(vp, 6, uint64(i))
+				bs := vp.PushRoot(b)
+				vp.PromoteRoot(bs)
+				vp.PopRoots(1)
+				churn(vp, 300, 5)
+			}
+		}
+		if ch.Len() != n {
+			t.Fatalf("pending = %d, want %d", ch.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			got, ok := ch.TryRecv(vp)
+			if !ok {
+				t.Fatalf("message %d missing", i)
+			}
+			ln := vp.ObjectLen(got)
+			if ln != 1+i%7 {
+				t.Fatalf("message %d: length %d, want %d (FIFO order broken?)", i, ln, 1+i%7)
+			}
+			for j := 0; j < ln; j++ {
+				if vp.LoadWord(got, j) != uint64(i)<<8|uint64(j) {
+					t.Fatalf("message %d word %d corrupted", i, j)
+				}
+			}
+		}
+		if _, ok := ch.TryRecv(vp); ok {
+			t.Error("channel should be empty")
+		}
+	})
+	if rt.Stats.GlobalGCs == 0 {
+		t.Fatal("test did not force a global collection")
+	}
+}
+
+// TestBlockingRecvHandoff checks the rendezvous fast path: a parked receiver
+// gets the proxy handed to it directly, bypassing the pending chain.
+func TestBlockingRecvHandoff(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(2))
+	ch := rt.NewChannel()
+	var got uint64
+	var handedOff bool
+	rt.Run(func(vp *VProc) {
+		recv := vp.Spawn(func(rvp *VProc, _ Env) {
+			m := ch.Recv(rvp)
+			got = rvp.LoadWord(m, 0)
+		})
+		vp.Compute(1_000_000) // let vproc 1 steal the receiver and park
+		msg := vp.AllocRaw([]uint64{77})
+		s := vp.PushRoot(msg)
+		ch.Send(vp, s)
+		handedOff = vp.Stats.ChanHandoffs > 0
+		vp.PopRoots(1)
+		vp.Join(recv)
+	})
+	if got != 77 {
+		t.Errorf("received %d, want 77", got)
+	}
+	if !handedOff {
+		t.Error("send to a parked receiver should be a direct handoff")
+	}
+	if ch.Len() != 0 {
+		t.Error("handoff must bypass the pending chain")
+	}
+}
+
+// TestSelectPrefersPendingInOrder: Select takes from the first channel with
+// a pending message, in argument order.
+func TestSelectPrefersPendingInOrder(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	a, b := rt.NewChannel(), rt.NewChannel()
+	rt.Run(func(vp *VProc) {
+		m1 := vp.AllocRaw([]uint64{1})
+		s1 := vp.PushRoot(m1)
+		b.Send(vp, s1)
+		vp.PopRoots(1)
+
+		which, got := vp.Select(a, b)
+		if which != 1 {
+			t.Errorf("Select chose %d, want 1", which)
+		}
+		if vp.LoadWord(got, 0) != 1 {
+			t.Error("wrong message")
+		}
+
+		m2 := vp.AllocRaw([]uint64{2})
+		s2 := vp.PushRoot(m2)
+		a.Send(vp, s2)
+		m3 := vp.AllocRaw([]uint64{3})
+		s3 := vp.PushRoot(m3)
+		b.Send(vp, s3)
+		vp.PopRoots(2)
+		which, got = vp.Select(a, b)
+		if which != 0 || vp.LoadWord(got, 0) != 2 {
+			t.Errorf("Select = (%d, %d), want (0, 2)", which, vp.LoadWord(got, 0))
+		}
+	})
+}
+
+// TestSelectParkedAcrossChannels: a parked Select is claimed by whichever
+// channel delivers first, and the stale registration on the other channel
+// does not disturb later sends.
+func TestSelectParkedAcrossChannels(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(2))
+	a, b := rt.NewChannel(), rt.NewChannel()
+	var which int
+	var got uint64
+	rt.Run(func(vp *VProc) {
+		sel := vp.Spawn(func(svp *VProc, _ Env) {
+			w, m := svp.Select(a, b)
+			which = w
+			got = svp.LoadWord(m, 0)
+		})
+		vp.Compute(1_000_000) // selector parks on both channels
+		m := vp.AllocRaw([]uint64{9})
+		s := vp.PushRoot(m)
+		b.Send(vp, s)
+		vp.PopRoots(1)
+		vp.Join(sel)
+
+		// The stale registration on a must be skipped: this send should
+		// enqueue (no parked receiver is live anymore).
+		m2 := vp.AllocRaw([]uint64{10})
+		s2 := vp.PushRoot(m2)
+		a.Send(vp, s2)
+		vp.PopRoots(1)
+		if got2, ok := a.TryRecv(vp); !ok || vp.LoadWord(got2, 0) != 10 {
+			t.Error("send after a stale select registration lost its message")
+		}
+	})
+	if which != 1 || got != 9 {
+		t.Errorf("Select = (%d, %d), want (1, 9)", which, got)
+	}
+}
+
+// TestMailboxCapacityBlocksSender: a bounded mailbox holds at most cap
+// messages; the sender makes progress only as the receiver drains.
+func TestMailboxCapacityBlocksSender(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(2))
+	mb := rt.NewMailbox(2)
+	const n = 10
+	var sum uint64
+	var maxLen int
+	rt.Run(func(vp *VProc) {
+		recv := vp.Spawn(func(rvp *VProc, _ Env) {
+			for i := 0; i < n; i++ {
+				if l := mb.Len(); l > maxLen {
+					maxLen = l
+				}
+				m := mb.Recv(rvp)
+				sum += rvp.LoadWord(m, 0)
+				rvp.Compute(5000) // drain slower than the sender fills
+			}
+		})
+		vp.Compute(500_000) // let vproc 1 steal the receiver
+		for i := 1; i <= n; i++ {
+			m := vp.AllocRaw([]uint64{uint64(i)})
+			s := vp.PushRoot(m)
+			mb.Send(vp, s)
+			if l := mb.Len(); l > mb.Cap() {
+				t.Errorf("mailbox holds %d > cap %d", l, mb.Cap())
+			}
+			vp.PopRoots(1)
+		}
+		vp.Join(recv)
+	})
+	if want := uint64(n * (n + 1) / 2); sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+	if maxLen > 2 {
+		t.Errorf("observed %d pending > capacity 2", maxLen)
+	}
+}
+
+// TestRecvThenContinuationChain: continuation receives run as tasks, so a
+// consumer that is "below" its producer on the same vproc cannot wedge —
+// the single-vproc pipeline completes entirely through parked tasks.
+func TestRecvThenContinuationChain(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	ch := rt.NewChannel()
+	const n = 5
+	var sum uint64
+	var count int
+	var pump func(vp *VProc, k int)
+	pump = func(vp *VProc, k int) {
+		if k == 0 {
+			return
+		}
+		ch.RecvThen(vp, nil, func(vp *VProc, _ Env, msg heap.Addr) {
+			sum += vp.LoadWord(msg, 0)
+			count++
+			pump(vp, k-1)
+		})
+	}
+	rt.Run(func(vp *VProc) {
+		pump(vp, n) // park the consumer before anything is sent
+		for i := 1; i <= n; i++ {
+			m := vp.AllocRaw([]uint64{uint64(i)})
+			s := vp.PushRoot(m)
+			ch.Send(vp, s)
+			vp.PopRoots(1)
+		}
+	})
+	if count != n || sum != n*(n+1)/2 {
+		t.Errorf("continuation chain: count=%d sum=%d, want %d and %d", count, sum, n, n*(n+1)/2)
+	}
+}
+
+// TestSelectThenEnvSurvivesCollections: the captured environment of a parked
+// continuation is a GC root; it must be forwarded by minor, major and global
+// collections while parked.
+func TestSelectThenEnvSurvivesCollections(t *testing.T) {
+	cfg := stressConfig(1)
+	cfg.GlobalTriggerWords = 4 * cfg.ChunkWords
+	rt := MustNewRuntime(cfg)
+	ch := rt.NewChannel()
+	var envSum, msgVal uint64
+	rt.Run(func(vp *VProc) {
+		captured := vp.AllocRaw([]uint64{400, 500})
+		cs := vp.PushRoot(captured)
+		vp.SelectThen([]*Channel{ch}, []heap.Addr{vp.Root(cs)}, func(vp *VProc, env Env, _ int, msg heap.Addr) {
+			c := env.Get(vp, 0)
+			envSum = vp.LoadWord(c, 0) + vp.LoadWord(c, 1)
+			msgVal = vp.LoadWord(msg, 0)
+		})
+		vp.PopRoots(1) // the parked continuation is now the only root
+
+		// Collections of every flavor while the continuation is parked.
+		for i := 0; i < 10; i++ {
+			b := buildTree(vp, 6, uint64(i))
+			bs := vp.PushRoot(b)
+			vp.PromoteRoot(bs)
+			vp.PopRoots(1)
+			churn(vp, 400, 6)
+		}
+
+		m := vp.AllocRaw([]uint64{7})
+		s := vp.PushRoot(m)
+		ch.Send(vp, s)
+		vp.PopRoots(1)
+	})
+	if rt.Stats.GlobalGCs == 0 {
+		t.Fatal("test did not force a global collection")
+	}
+	if envSum != 900 {
+		t.Errorf("captured environment corrupted: sum=%d, want 900", envSum)
+	}
+	if msgVal != 7 {
+		t.Errorf("message = %d, want 7", msgVal)
+	}
+}
+
+// TestChannelCrossVProcAfterGlobalGC: a message promoted and then moved by a
+// global collection is still received intact by another vproc.
+func TestChannelCrossVProcAfterGlobalGC(t *testing.T) {
+	cfg := stressConfig(2)
+	cfg.GlobalTriggerWords = 4 * cfg.ChunkWords
+	rt := MustNewRuntime(cfg)
+	ch := rt.NewChannel()
+	var got uint64
+	rt.Run(func(vp *VProc) {
+		msg := vp.AllocRaw([]uint64{0xACE})
+		s := vp.PushRoot(msg)
+		ch.Send(vp, s)
+		vp.PopRoots(1)
+
+		recv := vp.Spawn(func(rvp *VProc, _ Env) {
+			got = rvp.LoadWord(ch.Recv(rvp), 0)
+		})
+
+		// Global collections before the receiver (stolen by vproc 1, or
+		// run inline later) picks the message up.
+		for i := 0; i < 6; i++ {
+			b := buildTree(vp, 6, uint64(i))
+			bs := vp.PushRoot(b)
+			vp.PromoteRoot(bs)
+			vp.PopRoots(1)
+			churn(vp, 400, 6)
+		}
+		vp.Join(recv)
+	})
+	if got != 0xACE {
+		t.Errorf("received %#x, want 0xACE", got)
+	}
+	if rt.Stats.GlobalGCs == 0 {
+		t.Fatal("test did not force a global collection")
+	}
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}
+
+// TestMailboxCapacityConcurrentSenders: the capacity bound must hold with
+// several senders racing for the last slot (the check and the enqueue are
+// separated by charged advances; the commit re-verifies).
+func TestMailboxCapacityConcurrentSenders(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(4))
+	mb := rt.NewMailbox(2)
+	const perSender = 12
+	var sum uint64
+	rt.Run(func(vp *VProc) {
+		for s := 0; s < 2; s++ {
+			salt := uint64(s+1) * 1000
+			vp.Spawn(func(svp *VProc, _ Env) {
+				for i := 1; i <= perSender; i++ {
+					m := svp.AllocRaw([]uint64{salt + uint64(i)})
+					ms := svp.PushRoot(m)
+					mb.Send(svp, ms)
+					if l := mb.Len(); l > mb.Cap() {
+						t.Errorf("mailbox holds %d > cap %d", l, mb.Cap())
+					}
+					svp.PopRoots(1)
+				}
+			})
+		}
+		vp.Compute(200_000) // let both senders get stolen and race
+		for i := 0; i < 2*perSender; i++ {
+			if l := mb.Len(); l > mb.Cap() {
+				t.Errorf("observed %d pending > cap %d", l, mb.Cap())
+			}
+			m := mb.Recv(vp)
+			sum += vp.LoadWord(m, 0)
+			vp.Compute(3000)
+		}
+	})
+	var want uint64
+	for s := 0; s < 2; s++ {
+		for i := 1; i <= perSender; i++ {
+			want += uint64(s+1)*1000 + uint64(i)
+		}
+	}
+	if sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+}
+
+// TestChannelCloseReleasesRecord: Close unpins the record so a global
+// collection reclaims it; a closed channel is reusable and starts empty.
+func TestChannelCloseReleasesRecord(t *testing.T) {
+	cfg := stressConfig(1)
+	cfg.GlobalTriggerWords = 4 * cfg.ChunkWords
+	rt := MustNewRuntime(cfg)
+	rt.Run(func(vp *VProc) {
+		// Dynamically created channels, used and closed.
+		for i := 0; i < 10; i++ {
+			ch := rt.NewChannel()
+			m := vp.AllocRaw([]uint64{uint64(i)})
+			s := vp.PushRoot(m)
+			ch.Send(vp, s)
+			vp.PopRoots(1)
+			if got, ok := ch.TryRecv(vp); !ok || vp.LoadWord(got, 0) != uint64(i) {
+				t.Fatalf("channel %d round trip failed", i)
+			}
+			ch.Close()
+		}
+		if n := len(rt.globalRoots); n != 0 {
+			t.Errorf("closed channels left %d pinned roots", n)
+		}
+		// Records become garbage at the next global collection.
+		for i := 0; i < 8; i++ {
+			b := buildTree(vp, 6, uint64(i))
+			bs := vp.PushRoot(b)
+			vp.PromoteRoot(bs)
+			vp.PopRoots(1)
+			churn(vp, 500, 6)
+		}
+		// Reuse after Close: a fresh, empty record.
+		ch := rt.NewChannel()
+		ch.Close()
+		if _, ok := ch.TryRecv(vp); ok {
+			t.Error("closed channel should be empty")
+		}
+		m := vp.AllocRaw([]uint64{99})
+		s := vp.PushRoot(m)
+		ch.Send(vp, s)
+		vp.PopRoots(1)
+		if got, ok := ch.TryRecv(vp); !ok || vp.LoadWord(got, 0) != 99 {
+			t.Error("reused channel lost its message")
+		}
+		ch.Close()
+	})
+	if rt.Stats.GlobalGCs == 0 {
+		t.Fatal("test did not force a global collection")
+	}
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}
+
+// TestBoundedSendSurvivesGlobalGCWhileWaiting: a sender blocked on a full
+// mailbox services the scheduler, which can run work that forces global
+// collections; the in-flight message's proxy must be re-read through the
+// root stack, not a stale host-side copy.
+func TestBoundedSendSurvivesGlobalGCWhileWaiting(t *testing.T) {
+	cfg := stressConfig(1)
+	cfg.GlobalTriggerWords = 4 * cfg.ChunkWords
+	rt := MustNewRuntime(cfg)
+	mb := rt.NewMailbox(1)
+	var first uint64
+	rt.Run(func(vp *VProc) {
+		m1 := vp.AllocRaw([]uint64{111})
+		s1 := vp.PushRoot(m1)
+		mb.Send(vp, s1)
+		vp.PopRoots(1) // mailbox is now full
+
+		// The blocked Send's ServiceScheduler runs these (LIFO): first
+		// the GC forcer, then the drainer that frees the capacity slot.
+		vp.Spawn(func(dvp *VProc, _ Env) {
+			got, ok := mb.TryRecv(dvp)
+			if !ok {
+				t.Error("drainer found the mailbox empty")
+				return
+			}
+			first = dvp.LoadWord(got, 0)
+		})
+		vp.Spawn(func(gvp *VProc, _ Env) {
+			for i := 0; i < 10; i++ {
+				b := buildTree(gvp, 6, uint64(i))
+				bs := gvp.PushRoot(b)
+				gvp.PromoteRoot(bs)
+				gvp.PopRoots(1)
+				churn(gvp, 400, 6)
+			}
+		})
+
+		m2 := vp.AllocRaw([]uint64{222})
+		s2 := vp.PushRoot(m2)
+		mb.Send(vp, s2) // blocks until the drainer runs; GCs happen first
+		vp.PopRoots(1)
+
+		got := mb.Recv(vp)
+		if vp.LoadWord(got, 0) != 222 {
+			t.Errorf("second message = %d, want 222", vp.LoadWord(got, 0))
+		}
+	})
+	if first != 111 {
+		t.Errorf("first message = %d, want 111", first)
+	}
+	if rt.Stats.GlobalGCs == 0 {
+		t.Fatal("test did not force a global collection during the wait")
+	}
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}
+
+// TestCloseDropsPendingProxies: closing a channel with unreceived messages
+// deregisters their proxies from the senders, so the payloads stop being
+// GC roots.
+func TestCloseDropsPendingProxies(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	rt.Run(func(vp *VProc) {
+		ch := rt.NewChannel()
+		for i := 0; i < 5; i++ {
+			m := vp.AllocRaw([]uint64{uint64(i)})
+			s := vp.PushRoot(m)
+			ch.Send(vp, s)
+			vp.PopRoots(1)
+		}
+		if got := len(vp.proxies); got != 5 {
+			t.Fatalf("registry holds %d proxies, want 5", got)
+		}
+		ch.Close()
+		if got := len(vp.proxies); got != 0 {
+			t.Errorf("registry holds %d proxies after Close, want 0", got)
+		}
+		if got := len(vp.proxyIdx); got != 0 {
+			t.Errorf("index holds %d entries after Close, want 0", got)
+		}
+		churn(vp, 2000, 4) // the dropped payloads must not confuse collections
+	})
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}

@@ -60,6 +60,10 @@ func TestDeterministicRerun(t *testing.T) {
 		{"quicksort", 8, mempage.PolicyLocal, 0.25},
 		{"barnes-hut", 16, mempage.PolicySingleNode, 0.125},
 		{"synthetic", 8, mempage.PolicyInterleaved, 2},
+		// Channel-heavy: rendezvous handoffs, parked continuations, and
+		// lazy message promotion must all reschedule identically.
+		{"server", 12, mempage.PolicyLocal, 1},
+		{"server", 8, mempage.PolicyInterleaved, 0.5},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -226,10 +226,31 @@ func (vp *VProc) globalScanRoots() {
 		}
 	})
 	for i, pa := range vp.proxies {
-		vp.proxies[i] = fw(pa)
+		npa := fw(pa)
+		vp.proxies[i] = npa
+		// The proxy's local slot is normally a local-heap address (passed
+		// through untouched), but the major collection that precedes this
+		// phase may have promoted the proxied object, leaving a *global*
+		// address in the local slot — which is from-space now. Only the
+		// owner sees the slot, so the owner forwards it; the chunk
+		// scanners trace just the global slot.
+		p := rt.Space.Payload(npa)
+		p[heap.ProxyLocalSlot] = uint64(fw(heap.Addr(p[heap.ProxyLocalSlot])))
+	}
+	if vp.proxyIdx != nil {
+		// The proxies moved; rebuild the address index.
+		clear(vp.proxyIdx)
+		for i, pa := range vp.proxies {
+			vp.proxyIdx[pa] = i
+		}
 	}
 	for _, t := range vp.resultTasks {
 		t.result = fw(t.result)
+	}
+	for _, r := range vp.parked {
+		for i, a := range r.env {
+			r.env[i] = fw(a)
+		}
 	}
 	// Walk the local heap (young data only, after the preceding
 	// minor+major).

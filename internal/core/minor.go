@@ -135,4 +135,9 @@ func (vp *VProc) forwardLocalRoots(forward func(heap.Addr) heap.Addr) {
 	for _, t := range vp.resultTasks {
 		t.result = forward(t.result)
 	}
+	for _, r := range vp.parked {
+		for i, a := range r.env {
+			r.env[i] = forward(a)
+		}
+	}
 }

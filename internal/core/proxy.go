@@ -31,6 +31,10 @@ func (vp *VProc) NewProxy(localSlot int) heap.Addr {
 	p[heap.ProxyGlobalSlot] = 0
 	node := rt.Space.NodeOf(pa)
 	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, heap.ProxySizeWords*8, numa.AccessMemory))
+	if vp.proxyIdx == nil {
+		vp.proxyIdx = make(map[heap.Addr]int)
+	}
+	vp.proxyIdx[pa] = len(vp.proxies)
 	vp.proxies = append(vp.proxies, pa)
 	return pa
 }
@@ -80,13 +84,22 @@ func (vp *VProc) ProxyDeref(proxy heap.Addr) heap.Addr {
 }
 
 // dropProxy removes a resolved proxy from the owner's registry (its local
-// slot no longer needs root treatment).
+// slot no longer needs root treatment). Swap-remove through the index map:
+// O(1) per resolution, where the former linear scan made channel-heavy
+// workloads quadratic in live proxies. The registry's iteration order is
+// not semantically significant — it only has to be deterministic, and
+// swap-remove is a deterministic function of the operation sequence.
 func (vp *VProc) dropProxy(pa heap.Addr) {
-	for i, q := range vp.proxies {
-		if q == pa {
-			vp.proxies = append(vp.proxies[:i], vp.proxies[i+1:]...)
-			return
-		}
+	i, ok := vp.proxyIdx[pa]
+	if !ok {
+		panic(fmt.Sprintf("core: proxy %v not registered with vproc %d", pa, vp.ID))
 	}
-	panic(fmt.Sprintf("core: proxy %v not registered with vproc %d", pa, vp.ID))
+	last := len(vp.proxies) - 1
+	moved := vp.proxies[last]
+	vp.proxies[i] = moved
+	vp.proxies = vp.proxies[:last]
+	delete(vp.proxyIdx, pa)
+	if i != last {
+		vp.proxyIdx[moved] = i
+	}
 }

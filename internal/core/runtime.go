@@ -29,6 +29,10 @@ type Runtime struct {
 	global globalState
 	tracer Tracer
 
+	// chanDesc is the lazily registered channel-record descriptor ID
+	// (0 = not yet registered); see channel.go.
+	chanDesc uint16
+
 	// localGCActive counts vprocs currently inside a local collection or
 	// promotion. The Debug verifier only runs when it is zero: a
 	// suspended collector legitimately has partially-scanned copies in
@@ -49,6 +53,18 @@ type Runtime struct {
 // The referent must be in the global heap.
 func (rt *Runtime) RegisterGlobalRoot(a *heap.Addr) {
 	rt.globalRoots = append(rt.globalRoots, a)
+}
+
+// unregisterGlobalRoot removes a pinned root (e.g. a closed channel's
+// record), preserving the order of the rest — global collections iterate
+// the list, and forwarding order must stay deterministic.
+func (rt *Runtime) unregisterGlobalRoot(a *heap.Addr) {
+	for i, q := range rt.globalRoots {
+		if q == a {
+			rt.globalRoots = append(rt.globalRoots[:i], rt.globalRoots[i+1:]...)
+			return
+		}
+	}
 }
 
 // RTStats aggregates runtime-wide statistics.
@@ -194,6 +210,9 @@ func (rt *Runtime) TotalStats() VPStats {
 		t.FailedSteals += vp.Stats.FailedSteals
 		t.AllocWords += vp.Stats.AllocWords
 		t.ChunksRequested += vp.Stats.ChunksRequested
+		t.ChanSends += vp.Stats.ChanSends
+		t.ChanRecvs += vp.Stats.ChanRecvs
+		t.ChanHandoffs += vp.Stats.ChanHandoffs
 	}
 	return t
 }

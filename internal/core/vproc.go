@@ -34,7 +34,17 @@ type VProc struct {
 
 	// proxies holds the global-heap addresses of proxy objects owned by
 	// this vproc; their local slots are additional local-GC roots.
-	proxies []heap.Addr
+	// proxyIdx maps each registered proxy to its index so dropProxy is
+	// O(1) swap-remove instead of a linear scan (channel-heavy workloads
+	// resolve proxies constantly). Global collections move proxies and
+	// rebuild the map.
+	proxies  []heap.Addr
+	proxyIdx map[heap.Addr]int
+
+	// parked holds this vproc's parked receive continuations (see
+	// channel.go); their captured environments are local-GC roots, like
+	// queued task environments.
+	parked []*rendezvous
 
 	// resultTasks holds completed result-producing tasks this vproc
 	// executed whose results have not been joined yet; the results are
@@ -75,6 +85,9 @@ type VPStats struct {
 	FailedSteals    int64
 	AllocWords      int64
 	ChunksRequested int64
+	ChanSends       int64 // channel messages sent
+	ChanRecvs       int64 // channel messages received
+	ChanHandoffs    int64 // sends delivered directly to a parked receiver
 }
 
 // Runtimer accessors.

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/heap"
+)
+
+// Server (beyond the paper's five benchmarks): a message-passing server
+// workload in the shape the paper's CML constructs exist for. N client
+// workers issue request/response round-trips over channels to a pool of
+// server workers; requests carry mixed payload sizes split across a
+// small-message and a large-message request channel, and each server
+// receives with a Select over both (large requests first). Every message
+// travels by object proxy, so the workload exercises the whole concurrency
+// stack: proxy creation, lazy cross-vproc promotion, heap-resident pending
+// queues surviving collections, rendezvous handoffs, and continuation
+// parking.
+//
+// Clients send their full request budget before collecting replies, and
+// both clients and servers advance through RecvThen/SelectThen continuation
+// chains rather than blocking frames; together with fixed per-server quotas
+// summing to the request total, this makes the workload deadlock-free at
+// any vproc count (a parked task can always be resumed by whichever vproc
+// receives its message; a parked frame could not).
+const (
+	srvClients  = 12 // client workers at scale 1
+	srvRequests = 20 // requests per client at scale 1
+
+	srvSmallMin, srvSmallSpan = 4, 12  // small request payload words
+	srvLargeMin, srvLargeSpan = 48, 72 // large request payload words
+
+	srvComputePerWordNs = 6 // server-side processing per payload word
+)
+
+// serverParams derives the workload shape from the vproc count and scale.
+func serverParams(nv int, scale float64) (clients, requests, servers int) {
+	clients = scaled(srvClients, scale)
+	requests = scaled(srvRequests, scale)
+	servers = nv
+	if servers > clients {
+		servers = clients
+	}
+	return
+}
+
+// RunServer executes the benchmark. Check folds every client's reply
+// checksums and is identical across vproc counts (reply contents depend
+// only on request contents, which are generated per client from the
+// configured seed).
+func RunServer(rt *core.Runtime, scale float64) Result {
+	clients, requests, servers := serverParams(rt.Cfg.NumVProcs, scale)
+	total := clients * requests
+	seed := rt.Cfg.Seed
+
+	// Request channels are unbounded mailboxes: clients must be able to
+	// publish their whole budget without blocking (see the deadlock note
+	// above). Replies flow over one channel per client.
+	small := rt.NewChannel()
+	large := rt.NewChannel()
+	replies := make([]*core.Channel, clients)
+	for i := range replies {
+		replies[i] = rt.NewChannel()
+	}
+	checks := make([]uint64, clients)
+
+	elapsed := rt.Run(func(vp *core.VProc) {
+		// The server pool: each worker consumes a fixed share of the
+		// request total (shares sum to the total, so every request is
+		// consumed exactly once and every chain terminates).
+		base, extra := total/servers, total%servers
+		for s := 0; s < servers; s++ {
+			quota := base
+			if s < extra {
+				quota++
+			}
+			if quota == 0 {
+				continue
+			}
+			vp.Spawn(func(svp *core.VProc, _ core.Env) {
+				srvServe(svp, large, small, replies, quota)
+			})
+		}
+		for c := 0; c < clients; c++ {
+			c := c
+			vp.Spawn(func(cvp *core.VProc, _ core.Env) {
+				srvClient(cvp, seed, c, requests, small, large, replies[c], checks)
+			})
+		}
+	})
+
+	var check uint64
+	for _, c := range checks {
+		check = fnv1a(check, c)
+	}
+	return Result{ElapsedNs: elapsed, Check: check, Stats: rt.TotalStats()}
+}
+
+// srvServe is one server worker's continuation chain: Select a request
+// (large channel first), process it, reply, recurse until the quota is
+// spent.
+func srvServe(vp *core.VProc, large, small *core.Channel, replies []*core.Channel, quota int) {
+	if quota == 0 {
+		return
+	}
+	vp.SelectThen([]*core.Channel{large, small}, nil, func(vp *core.VProc, _ core.Env, _ int, msg heap.Addr) {
+		words := vp.ObjectLen(msg)
+		p := vp.ReadBlockCompute(msg, int64(words)*srvComputePerWordNs)
+		client, seq := int(p[0]), p[1]
+		var sum uint64
+		for _, w := range p {
+			sum = fnv1a(sum, w)
+		}
+		// p (and msg itself) are dead once the fold is done; the reply
+		// allocation below may collect them.
+		out := vp.AllocRaw([]uint64{seq, sum})
+		os := vp.PushRoot(out)
+		replies[client].Send(vp, os)
+		vp.PopRoots(1)
+		srvServe(vp, large, small, replies, quota-1)
+	})
+}
+
+// srvClient publishes the client's full request budget (never blocking:
+// the request mailboxes are unbounded), then collects the replies through a
+// continuation chain.
+func srvClient(vp *core.VProc, seed uint64, c, requests int, small, large, reply *core.Channel, checks []uint64) {
+	rng := newRand(srvClientSeed(seed, c))
+	for r := 0; r < requests; r++ {
+		ch, words := srvRequestShape(rng)
+		buf := make([]uint64, words)
+		buf[0], buf[1] = uint64(c), uint64(r)
+		for i := 2; i < words; i++ {
+			buf[i] = rng.next()
+		}
+		dst := small
+		if ch == 1 {
+			dst = large
+		}
+		a := vp.AllocRaw(buf)
+		s := vp.PushRoot(a)
+		dst.Send(vp, s)
+		vp.PopRoots(1)
+	}
+	srvCollect(vp, reply, requests, c, checks, 0)
+}
+
+// srvCollect folds one reply and re-parks for the next; the fold is
+// commutative (replies from different servers may interleave in any
+// deterministic order, and the checksum must not depend on vproc count).
+func srvCollect(vp *core.VProc, reply *core.Channel, remaining, c int, checks []uint64, acc uint64) {
+	if remaining == 0 {
+		checks[c] = acc
+		return
+	}
+	reply.RecvThen(vp, nil, func(vp *core.VProc, _ core.Env, msg heap.Addr) {
+		p := vp.ReadBlock(msg)
+		h := fnv1a(fnv1a(0, p[0]), p[1])
+		srvCollect(vp, reply, remaining-1, c, checks, acc+h)
+	})
+}
+
+// srvClientSeed derives a per-client generator seed.
+func srvClientSeed(seed uint64, c int) uint64 {
+	return seed ^ uint64(c+1)*0x9E3779B97F4A7C15
+}
+
+// srvRequestShape draws the next request's channel (0 = small, 1 = large)
+// and payload size. One request in four is large.
+func srvRequestShape(rng *xorshift) (ch, words int) {
+	if rng.next()%4 == 0 {
+		return 1, srvLargeMin + int(rng.next()%srvLargeSpan)
+	}
+	return 0, srvSmallMin + int(rng.next()%srvSmallSpan)
+}
+
+// ServerSeq computes the expected checksum host-side. It is independent of
+// the vproc count: the simulated run must match it at any parallelism.
+func ServerSeq(seed uint64, scale float64) uint64 {
+	clients := scaled(srvClients, scale)
+	requests := scaled(srvRequests, scale)
+	var check uint64
+	for c := 0; c < clients; c++ {
+		rng := newRand(srvClientSeed(seed, c))
+		var acc uint64
+		for r := 0; r < requests; r++ {
+			_, words := srvRequestShape(rng)
+			var sum uint64
+			sum = fnv1a(sum, uint64(c))
+			sum = fnv1a(sum, uint64(r))
+			for i := 2; i < words; i++ {
+				sum = fnv1a(sum, rng.next())
+			}
+			acc += fnv1a(fnv1a(0, uint64(r)), sum)
+		}
+		check = fnv1a(check, acc)
+	}
+	return check
+}

@@ -45,6 +45,7 @@ func All() []Spec {
 		{Name: "barnes-hut", Paper: "400,000-body Plummer, 20 iterations", Run: RunBarnesHut},
 		{Name: "smvm", Paper: "1,091,362-element sparse matrix x 16,614 vector", Run: RunSMVM},
 		{Name: "synthetic", Paper: "allocation churn (synthetic)", Run: RunSynthetic},
+		{Name: "server", Paper: "message-passing server over CML channels (beyond the paper)", Run: RunServer},
 	}
 }
 

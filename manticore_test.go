@@ -186,3 +186,39 @@ func TestPolicyParsing(t *testing.T) {
 		t.Error("MachinePreset(intel32) failed")
 	}
 }
+
+func TestChannelSelectAndMailboxFacade(t *testing.T) {
+	rt := testRuntime(t, 2)
+	fast := rt.NewChannel()
+	slow := rt.NewMailbox(4)
+	var firstIdx int
+	var sum uint64
+	rt.Run(func(w *Worker) {
+		a := w.AllocRaw([]uint64{5})
+		as := w.PushRoot(a)
+		slow.Send(w, as)
+		w.PopRoots(1)
+
+		which, m := Select(w, fast, slow)
+		firstIdx = which
+		sum += w.LoadWord(m, 0)
+
+		// Continuation receive: parks a task, resumed by the later send.
+		fast.RecvThen(w, nil, func(w *Worker, _ Env, msg Addr) {
+			sum += w.LoadWord(msg, 0)
+		})
+		b := w.AllocRaw([]uint64{11})
+		bs := w.PushRoot(b)
+		fast.Send(w, bs)
+		w.PopRoots(1)
+	})
+	if firstIdx != 1 {
+		t.Errorf("Select chose channel %d, want 1", firstIdx)
+	}
+	if sum != 16 {
+		t.Errorf("sum = %d, want 16", sum)
+	}
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}
