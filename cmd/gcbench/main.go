@@ -12,8 +12,8 @@
 //	gcbench -all                      # Figures 4-7
 //	gcbench -all -j 8                 # ... with 8 sweep workers
 //	gcbench -server                   # message-passing server sweep (both machines, all policies)
-//	gcbench -baseline BENCH_v2.json   # record a perf baseline (JSON)
-//	gcbench -compare BENCH_v2.json    # fail on any virtual-time drift
+//	gcbench -baseline BENCH_v3.json   # record a perf baseline (JSON)
+//	gcbench -compare BENCH_v3.json    # fail on any virtual-time drift
 package main
 
 import (
@@ -245,7 +245,7 @@ func writeBaseline(path string, workers int) error {
 		return err
 	}
 	out := Baseline{
-		Version:   2,
+		Version:   3,
 		Scale:     baselineScale,
 		GoVersion: runtime.Version(),
 		Date:      time.Now().UTC().Format("2006-01-02"),

@@ -50,6 +50,13 @@ type Config struct {
 	// NodeLocalScan makes global GC scanning prefer node-local chunk
 	// lists (§3.4); disabling it uses one shared list (ablation).
 	NodeLocalScan bool
+	// NoStepKernels forces the direct-style (Advance-based) versions of
+	// the step-converted hot loops: the global-GC scan phase, the
+	// local-heap root walk, and the workload mutator kernels. The two
+	// styles are schedule-identical by the step contract — this ablation
+	// exists to prove it (results must match bit-for-bit) and to measure
+	// the host-time cost of token handoffs.
+	NoStepKernels bool
 
 	// Debug runs the whole-heap invariant verifier after every
 	// collection phase. Slow; for tests.

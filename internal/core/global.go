@@ -156,22 +156,60 @@ func (vp *VProc) globalCollect() {
 // globalForward copies a from-space global object into this vproc's
 // to-space chunk and returns the new address. Local addresses and live
 // to-space addresses pass through unchanged.
+//
+// It is assembled from forwardClass (the chargeless classification) and
+// globalCopy (the evacuation plus its charge) so the step-driven collectors
+// in stepscan.go can issue the identical mutation/charge sequence one turn
+// at a time.
 func (vp *VProc) globalForward(a heap.Addr) heap.Addr {
 	rt := vp.rt
+	na, h, need := vp.forwardClass(a)
+	if !need {
+		return na
+	}
+	n := heap.HeaderLen(h)
+	if n+1 > rt.Cfg.ChunkWords-1 {
+		panic(fmt.Sprintf("core: object of %d words exceeds chunk size %d", n, rt.Cfg.ChunkWords))
+	}
+	if vp.curChunk == nil || !vp.curChunk.CanAlloc(n) {
+		rt.getChunk(vp)
+		// The chunk fetch advanced virtual time, so another scanner may
+		// have evacuated this very object meanwhile (both held a
+		// reference to it). Re-classify instead of copying blindly: a
+		// second copy would overwrite the forwarding pointer and fork
+		// the object's identity between the two to-space copies.
+		na, h, need = vp.forwardClass(a)
+		if !need {
+			return na
+		}
+	}
+	na, d := vp.globalCopy(a, h, vp.curChunk)
+	vp.advance(d)
+	return na
+}
+
+// forwardClass classifies a pointer for global forwarding without charging:
+// need is false for the pass-through cases (nil, local-heap addresses, live
+// to-space objects, already-forwarded objects), with na the final address;
+// need is true when the object must be copied, with h its still-live
+// from-space header (read here, before any chunk fetch, exactly as the
+// direct code reads it).
+func (vp *VProc) forwardClass(a heap.Addr) (na heap.Addr, h uint64, need bool) {
+	rt := vp.rt
 	if a == 0 {
-		return a
+		return a, 0, false
 	}
 	r := rt.Space.Region(a.RegionID())
 	if r.Kind != heap.RegionChunk {
-		return a // local-heap address: not the global collector's concern
+		return a, 0, false // local-heap address: not the global collector's concern
 	}
 	// Find the chunk: region IDs map 1:1 to chunk regions; the chunk
 	// carries the from-space flag.
 	c := rt.chunkOfRegion(r)
 	if !c.FromSpace {
-		return a
+		return a, 0, false
 	}
-	h := rt.Space.Header(a)
+	h = rt.Space.Header(a)
 	if !heap.IsHeader(h) {
 		t := heap.ForwardTarget(h)
 		if rt.Cfg.Debug {
@@ -179,10 +217,20 @@ func (vp *VProc) globalForward(a heap.Addr) heap.Addr {
 				panic(fmt.Sprintf("core: forwarding target %v is itself from-space", t))
 			}
 		}
-		return t
+		return t, 0, false
 	}
+	return a, h, true
+}
+
+// globalCopy evacuates the from-space object at a (header h, read at
+// classification time) into dst, which must have room, and returns the new
+// address plus the copy charge. All mutations happen here, at the charge's
+// virtual instant; the caller advances (direct style) or returns the
+// duration from its step.
+func (vp *VProc) globalCopy(a heap.Addr, h uint64, dst *heap.Chunk) (heap.Addr, int64) {
+	rt := vp.rt
+	r := rt.Space.Region(a.RegionID())
 	n := heap.HeaderLen(h)
-	dst := rt.globalAllocDst(vp, n)
 	na := dst.Bump(h)
 	copy(rt.Space.Payload(na), r.Words[a.Word():a.Word()+n])
 	rt.Space.SetHeader(a, heap.MakeForward(na))
@@ -206,15 +254,28 @@ func (vp *VProc) globalForward(a heap.Addr) heap.Addr {
 	// (the batched-charge contract only covers meterless transfers).
 	srcNode := rt.Space.NodeOf(a)
 	dstNode := rt.Space.NodeOf(na)
-	vp.advance(rt.Machine.CopyStreamCost(vp.Now(), vp.Core, srcNode, dstNode, (n+1)*8,
-		numa.AccessMemory, numa.AccessMemory))
-	return na
+	return na, rt.Machine.CopyStreamCost(vp.Now(), vp.Core, srcNode, dstNode, (n+1)*8,
+		numa.AccessMemory, numa.AccessMemory)
 }
 
 // globalScanRoots scans the vproc's roots and entire local heap for
 // pointers into from-space (§3.4: "scans the vproc's roots and local heap,
-// placing any objects pointed-to into this new to-space chunk").
+// placing any objects pointed-to into this new to-space chunk"). The walk
+// normally runs as a step-driven iterator (stepscan.go) so the N vprocs'
+// finely interleaved copy charges cost inline steps, not goroutine
+// handoffs; the NoStepKernels ablation forces the direct form, which is
+// schedule-identical.
 func (vp *VProc) globalScanRoots() {
+	if vp.rt.Cfg.NoStepKernels {
+		vp.globalScanRootsDirect()
+		return
+	}
+	vp.globalScanRootsStep()
+}
+
+// globalScanRootsDirect is the direct-style root walk: every copy charge is
+// its own Advance.
+func (vp *VProc) globalScanRootsDirect() {
 	rt := vp.rt
 	fw := vp.globalForward
 	for i, a := range vp.roots {
@@ -288,8 +349,20 @@ func (rt *Runtime) enqueueScan(c *heap.Chunk) {
 // globalScanLoop drains unscanned to-space data: first the vproc's own
 // current chunk, then pending chunks from its node's list (falling back to
 // other nodes' lists only when its own is empty, charging the remote
-// synchronization), until no unscanned data remains anywhere.
+// synchronization), until no unscanned data remains anywhere. Like the root
+// walk it runs step-driven by default (the stop-the-world scan phase is
+// where all N vprocs interleave chunk-by-chunk) with the direct form kept
+// as the NoStepKernels ablation.
 func (vp *VProc) globalScanLoop() {
+	if vp.rt.Cfg.NoStepKernels {
+		vp.globalScanLoopDirect()
+		return
+	}
+	vp.globalScanLoopStep()
+}
+
+// globalScanLoopDirect is the direct-style scan loop.
+func (vp *VProc) globalScanLoopDirect() {
 	rt := vp.rt
 	for {
 		// Drain our own allocation chunk incrementally.
@@ -346,6 +419,17 @@ func (vp *VProc) scanChunkStep(c *heap.Chunk) {
 
 // popScanChunk takes a pending chunk, node-local first.
 func (vp *VProc) popScanChunk() *heap.Chunk {
+	c, d := vp.popScanChunkStart()
+	if c != nil {
+		vp.advance(d)
+	}
+	return c
+}
+
+// popScanChunkStart is popScanChunk's pre-charge half: it pops the chunk
+// and returns it with the synchronization charge, for the step-driven loop
+// to return from its turn.
+func (vp *VProc) popScanChunkStart() (*heap.Chunk, int64) {
 	rt := vp.rt
 	g := &rt.global
 	take := func(node int) *heap.Chunk {
@@ -358,19 +442,17 @@ func (vp *VProc) popScanChunk() *heap.Chunk {
 		return c
 	}
 	if c := take(nodeListFor(rt, vp.Node)); c != nil {
-		vp.advance(rt.Cfg.ChunkSyncLocalNs)
-		return c
+		return c, rt.Cfg.ChunkSyncLocalNs
 	}
 	for n := range g.scanByNode {
 		if c := take(n); c != nil {
 			// Cross-node fallback keeps the collection live when a
 			// node has pending chunks but no vproc.
-			vp.advance(rt.Cfg.ChunkSyncGlobalNs)
 			rt.Stats.CrossNodeScanned++
-			return c
+			return c, rt.Cfg.ChunkSyncGlobalNs
 		}
 	}
-	return nil
+	return nil, 0
 }
 
 // nodeListFor maps a vproc's node to its scan list, honoring the

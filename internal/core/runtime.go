@@ -132,7 +132,21 @@ func MustNewRuntime(cfg Config) *Runtime {
 // system allocation (§3.3). During the scan phase of a global collection,
 // a replaced chunk that still holds unscanned data is queued on its node's
 // scan list.
+//
+// The operation is split around its engine charge so the step-driven scan
+// machine (global.go) can issue the same mutations at the same virtual
+// instants: getChunkStart performs every mutation the direct code issues
+// before the sync advance and returns the chunk plus the charge;
+// getChunkFinish performs the post-advance half (installing the chunk and
+// the trigger check).
 func (rt *Runtime) getChunk(vp *VProc) {
+	c, d := rt.getChunkStart(vp)
+	vp.advance(d)
+	rt.getChunkFinish(vp, c)
+}
+
+// getChunkStart is the pre-charge half of getChunk.
+func (rt *Runtime) getChunkStart(vp *VProc) (*heap.Chunk, int64) {
 	if rt.global.scanning {
 		if old := vp.curChunk; old != nil && old.Scan < old.Top {
 			if old == vp.scanningChunk {
@@ -147,12 +161,17 @@ func (rt *Runtime) getChunk(vp *VProc) {
 	}
 	c, sync := rt.Chunks.Get(vp.Node, vp.ID)
 	vp.Stats.ChunksRequested++
-	switch sync {
-	case heap.SyncNodeLocal:
-		vp.advance(rt.Cfg.ChunkSyncLocalNs)
-	case heap.SyncGlobal:
-		vp.advance(rt.Cfg.ChunkSyncGlobalNs)
+	d := rt.Cfg.ChunkSyncLocalNs
+	if sync == heap.SyncGlobal {
+		d = rt.Cfg.ChunkSyncGlobalNs
 	}
+	return c, d
+}
+
+// getChunkFinish is the post-charge half of getChunk. During a global
+// collection's scan phase the trigger check is inert (global.pending is
+// already set), which is what lets the scan machine run it from a step.
+func (rt *Runtime) getChunkFinish(vp *VProc, c *heap.Chunk) {
 	vp.curChunk = c
 
 	// §3.4: global collection is triggered when the allocated global

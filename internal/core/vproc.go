@@ -300,12 +300,31 @@ func (vp *VProc) resolve(a heap.Addr) heap.Addr {
 // Resolve follows forwarding pointers to the object's current address.
 func (vp *VProc) Resolve(a heap.Addr) heap.Addr { return vp.resolve(a) }
 
+// wordCharge computes the charge of a single-word access to the resolved
+// address a. It is the one cost expression behind LoadWord/LoadPtr and
+// their Cost* forms, so the two execution styles cannot drift apart.
+func (vp *VProc) wordCharge(a heap.Addr) int64 {
+	return vp.rt.Machine.AccessCost(vp.Now(), vp.Core, vp.rt.Space.NodeOf(a), 8, vp.accessKind(a))
+}
+
+// blockCharge computes the charge of a streaming read of an n-word payload
+// at the resolved address a, fused with ns of computation.
+func (vp *VProc) blockCharge(a heap.Addr, n int, ns int64) int64 {
+	return vp.rt.Machine.AccessCost(vp.Now(), vp.Core, vp.rt.Space.NodeOf(a), n*8, vp.accessKind(a)) + ns
+}
+
+// cachedBlockCharge is blockCharge at unconditional cache cost (the
+// meterless re-read model of ReadBlockCached).
+func (vp *VProc) cachedBlockCharge(n int, ns int64) int64 {
+	t := vp.rt.Cfg.Topo
+	return int64(t.CacheLat+float64(n*8)/t.CacheBW) + ns
+}
+
 // LoadWord reads payload word i of the object at a, charging a
 // latency-bound access.
 func (vp *VProc) LoadWord(a heap.Addr, i int) uint64 {
 	a = vp.resolve(a)
-	node := vp.rt.Space.NodeOf(a)
-	vp.advance(vp.rt.Machine.AccessCost(vp.Now(), vp.Core, node, 8, vp.accessKind(a)))
+	vp.advance(vp.wordCharge(a))
 	return vp.rt.Space.Payload(a)[i]
 }
 
@@ -340,9 +359,8 @@ func (vp *VProc) ReadBlockCached(a heap.Addr) []uint64 {
 // read-then-compute loops.
 func (vp *VProc) ReadBlockCompute(a heap.Addr, ns int64) []uint64 {
 	a = vp.resolve(a)
-	node := vp.rt.Space.NodeOf(a)
 	n := vp.rt.Space.ObjectLen(a)
-	vp.advance(vp.rt.Machine.AccessCost(vp.Now(), vp.Core, node, n*8, vp.accessKind(a)) + ns)
+	vp.advance(vp.blockCharge(a, n, ns))
 	return vp.rt.Space.Payload(a)
 }
 
@@ -351,13 +369,63 @@ func (vp *VProc) ReadBlockCompute(a heap.Addr, ns int64) []uint64 {
 func (vp *VProc) ReadBlockCachedCompute(a heap.Addr, ns int64) []uint64 {
 	a = vp.resolve(a)
 	n := vp.rt.Space.ObjectLen(a)
-	t := vp.rt.Cfg.Topo
-	vp.advance(int64(t.CacheLat+float64(n*8)/t.CacheBW) + ns)
+	vp.advance(vp.cachedBlockCharge(n, ns))
 	return vp.rt.Space.Payload(a)
 }
 
 // ObjectLen returns the payload length of the object at a.
 func (vp *VProc) ObjectLen(a heap.Addr) int { return vp.rt.Space.ObjectLen(vp.resolve(a)) }
+
+// --- Step-kernel access forms -------------------------------------------
+//
+// The Cost* accessors are the "compute cost, return duration" forms of the
+// direct accessors above, for use inside step functions (RunSteps), where
+// calling Advance is banned: a step observes the heap and returns the
+// duration to charge, and the engine applies it. Each form performs exactly
+// the reads and cost-model calls of its direct counterpart — including
+// contention-meter mutations, which is why it must be invoked only at the
+// virtual instant the charge lands (i.e. from the step that returns it).
+
+// RunSteps drives fn through the engine's inline-step path (see
+// vtime.Proc.StepWhile): fn is invoked at every virtual instant this vproc
+// is scheduled — possibly on another vproc's goroutine — and returns the
+// duration to charge before its next turn, or done. fn must confine itself
+// to observing and mutating simulation state; it must not call engine
+// scheduling primitives (Compute, the allocators, Promote, channel
+// operations, …), all of which advance or block internally.
+func (vp *VProc) RunSteps(fn func() (d int64, done bool)) { vp.proc.StepWhile(fn) }
+
+// CostLoadWord is LoadWord in cost form: it resolves a and returns payload
+// word i together with the access charge.
+func (vp *VProc) CostLoadWord(a heap.Addr, i int) (uint64, int64) {
+	a = vp.resolve(a)
+	c := vp.wordCharge(a)
+	return vp.rt.Space.Payload(a)[i], c
+}
+
+// CostLoadPtr is LoadPtr in cost form.
+func (vp *VProc) CostLoadPtr(a heap.Addr, i int) (heap.Addr, int64) {
+	w, c := vp.CostLoadWord(a, i)
+	return heap.Addr(w), c
+}
+
+// CostReadBlock is ReadBlockCompute in cost form: it returns the payload
+// slice (aliasing heap storage, same caveats as ReadBlock) and the fused
+// read+compute charge.
+func (vp *VProc) CostReadBlock(a heap.Addr, ns int64) ([]uint64, int64) {
+	a = vp.resolve(a)
+	n := vp.rt.Space.ObjectLen(a)
+	c := vp.blockCharge(a, n, ns)
+	return vp.rt.Space.Payload(a), c
+}
+
+// CostReadBlockCached is ReadBlockCachedCompute in cost form.
+func (vp *VProc) CostReadBlockCached(a heap.Addr, ns int64) ([]uint64, int64) {
+	a = vp.resolve(a)
+	n := vp.rt.Space.ObjectLen(a)
+	c := vp.cachedBlockCharge(n, ns)
+	return vp.rt.Space.Payload(a), c
+}
 
 // HeaderID returns the object ID of the object at a.
 func (vp *VProc) HeaderID(a heap.Addr) uint16 {

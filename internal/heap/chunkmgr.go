@@ -27,7 +27,11 @@ type ChunkManager struct {
 
 	freeByNode [][]*Chunk
 	active     []*Chunk
-	byRegion   map[int]*Chunk
+	// byRegion maps region ID → chunk, dense: region IDs are assigned
+	// sequentially by the Space, so a slice indexed by ID (nil for
+	// non-chunk regions) replaces the map the global collector's
+	// forwarding fast path would otherwise hash into for every pointer.
+	byRegion []*Chunk
 
 	// AllocatedWords counts words in active chunks; the global collection
 	// trigger compares this against a threshold (§3.4: "the number of
@@ -50,7 +54,6 @@ func NewChunkManager(s *Space, chunkWords, numNodes int) *ChunkManager {
 		ChunkWords: chunkWords,
 		NodeAffine: true,
 		freeByNode: make([][]*Chunk, numNodes),
-		byRegion:   make(map[int]*Chunk),
 	}
 }
 
@@ -85,6 +88,9 @@ func (m *ChunkManager) Get(reqNode, owner int) (*Chunk, SyncClass) {
 	// The chunk's home node is where its first page actually landed
 	// (under interleaved placement this differs from reqNode).
 	c.Node = m.Space.Pages.NodeOfWord(r.BasePage, 0)
+	for len(m.byRegion) <= r.ID {
+		m.byRegion = append(m.byRegion, nil)
+	}
 	m.byRegion[r.ID] = c
 	m.activate(c)
 	m.Created++
@@ -94,6 +100,9 @@ func (m *ChunkManager) Get(reqNode, owner int) (*Chunk, SyncClass) {
 // ChunkOf returns the chunk backed by the given region ID, or nil if the
 // region is not a chunk region.
 func (m *ChunkManager) ChunkOf(regionID int) *Chunk {
+	if regionID < 0 || regionID >= len(m.byRegion) {
+		return nil
+	}
 	return m.byRegion[regionID]
 }
 

@@ -16,15 +16,7 @@ type Descriptor struct {
 	SizeWords int
 	// PtrFields lists the payload word offsets that contain pointers.
 	PtrFields []int
-
-	scan ScanFunc
 }
-
-// ScanFunc visits every pointer slot of a payload. visit receives the slot
-// offset and may return a replacement pointer, which the scanner writes
-// back; this is exactly the shape a copying collector's forward function
-// needs.
-type ScanFunc func(payload []uint64, visit func(slot int, ptr Addr) Addr)
 
 // Table is the object-descriptor table generated "by the compiler" — in
 // this reproduction, by workload setup code registering its record layouts.
@@ -47,17 +39,6 @@ func (t *Table) Register(name string, sizeWords int, ptrFields []int) uint16 {
 		}
 	}
 	d := &Descriptor{Name: name, SizeWords: sizeWords, PtrFields: append([]int(nil), ptrFields...)}
-	// The "compiled" scanning function: a closure over the fixed offsets.
-	offs := d.PtrFields
-	d.scan = func(payload []uint64, visit func(slot int, ptr Addr) Addr) {
-		for _, i := range offs {
-			p := Addr(payload[i])
-			np := visit(i, p)
-			if np != p {
-				payload[i] = uint64(np)
-			}
-		}
-	}
 	t.descs = append(t.descs, d)
 	id := uint16(len(t.descs)-1) + IDFirstMixed
 	if uint64(id) > idMask {
@@ -94,38 +75,57 @@ const (
 	ProxySizeWords = 3
 )
 
-// ScanObject visits the pointer slots of the object at a, dispatching on
-// the header ID: raw objects have none, vector objects are all pointers,
-// proxies expose only their global slot, and mixed objects use their
-// generated descriptor scan function. The paper notes the collector handles
-// raw and vector objects directly to avoid the table lookup; we follow the
-// same structure.
+// proxyPtrOffsets is the fixed pointer layout of proxy objects.
+var proxyPtrOffsets = []int{ProxyGlobalSlot}
+
+// PtrLayout returns the pointer-slot layout of an object with header h:
+// offs lists the payload offsets holding pointers, unless all is true, in
+// which case every payload word is a pointer (vector objects) and offs is
+// nil. It is the iterator-friendly complement of ScanObject: a resumable
+// scanner (the step-driven collector) walks the offsets itself so it can
+// suspend between slots, where ScanObject's callback could not.
+func PtrLayout(t *Table, h uint64) (offs []int, all bool) {
+	switch id := HeaderID(h); id {
+	case IDRaw:
+		return nil, false
+	case IDVector:
+		return nil, true
+	case IDProxy:
+		return proxyPtrOffsets, false
+	default:
+		return t.Lookup(id).PtrFields, false
+	}
+}
+
+// ScanObject visits the pointer slots of the object at a. The layout comes
+// from PtrLayout — the single source of truth shared with the resumable
+// scanners — so the callback-driven and step-driven collectors can never
+// scan different slots. visit may return a replacement pointer, which is
+// written back; this is exactly the shape a copying collector's forward
+// function needs.
 func ScanObject(s *Space, t *Table, a Addr, visit func(slot int, ptr Addr) Addr) {
 	h := s.Header(a)
 	if !IsHeader(h) {
 		panic(fmt.Sprintf("heap: ScanObject of forwarded object %v", a))
 	}
-	id := HeaderID(h)
-	switch id {
-	case IDRaw:
-		// No pointers.
-	case IDVector:
-		payload := s.Payload(a)
+	offs, all := PtrLayout(t, h)
+	if !all && len(offs) == 0 {
+		return // raw object: no pointers
+	}
+	payload := s.Payload(a)
+	if all {
 		for i, w := range payload {
 			p := Addr(w)
-			np := visit(i, p)
-			if np != p {
+			if np := visit(i, p); np != p {
 				payload[i] = uint64(np)
 			}
 		}
-	case IDProxy:
-		payload := s.Payload(a)
-		p := Addr(payload[ProxyGlobalSlot])
-		np := visit(ProxyGlobalSlot, p)
-		if np != p {
-			payload[ProxyGlobalSlot] = uint64(np)
+		return
+	}
+	for _, i := range offs {
+		p := Addr(payload[i])
+		if np := visit(i, p); np != p {
+			payload[i] = uint64(np)
 		}
-	default:
-		t.Lookup(id).scan(s.Payload(a), visit)
 	}
 }

@@ -56,6 +56,12 @@ type Region struct {
 	Owner    int // owning vproc for RegionLocal, allocating vproc for chunks
 	Words    []uint64
 	BasePage int
+
+	// HomeNode caches the common NUMA node of every backing page, or -1
+	// when the pages span nodes (possible only under interleaved
+	// placement). Page homes are fixed at region creation, so NodeOf can
+	// skip the page-table lookup for homogeneous regions.
+	HomeNode int
 }
 
 // Space is the registry of all heap regions plus the simulated page table.
@@ -82,6 +88,7 @@ func (s *Space) NewRegion(kind RegionKind, owner, words, reqNode int) *Region {
 		Words:    make([]uint64, words),
 		BasePage: s.Pages.Alloc(mempage.PagesFor(words), reqNode),
 	}
+	r.HomeNode = s.Pages.HomeOfRange(r.BasePage, mempage.PagesFor(words))
 	s.regions = append(s.regions, r)
 	return r
 }
@@ -104,6 +111,9 @@ func (s *Space) RegionOf(a Addr) *Region {
 // NodeOf returns the home NUMA node of the page backing the address.
 func (s *Space) NodeOf(a Addr) int {
 	r := s.RegionOf(a)
+	if r.HomeNode >= 0 {
+		return r.HomeNode
+	}
 	return s.Pages.NodeOfWord(r.BasePage, a.Word())
 }
 
@@ -130,11 +140,17 @@ func (s *Space) SetHeader(a Addr, w uint64) {
 }
 
 // ObjectLen returns the payload length in words of the object at a,
-// following a forwarding pointer if present.
+// following a forwarding pointer if present. Forwarding is one-hop by
+// construction — a collector only forwards to a freshly copied object, whose
+// header word is a real header — so a chain is heap corruption, not a case
+// to recurse through.
 func (s *Space) ObjectLen(a Addr) int {
 	h := s.Header(a)
 	if !IsHeader(h) {
-		return s.ObjectLen(ForwardTarget(h))
+		h = s.Header(ForwardTarget(h))
+		if !IsHeader(h) {
+			panic(fmt.Sprintf("heap: forwarding chain at %v (target %v is itself forwarded)", a, ForwardTarget(s.Header(a))))
+		}
 	}
 	return HeaderLen(h)
 }

@@ -126,6 +126,20 @@ func (t *Table) NodeOf(page int) int {
 	return int(t.pageNode[page])
 }
 
+// HomeOfRange returns the common home node of the n pages starting at
+// first, or -1 when the range spans nodes. Under the local and single-node
+// policies every range is homogeneous; under interleaved placement only
+// single-page ranges are.
+func (t *Table) HomeOfRange(first, n int) int {
+	node := t.pageNode[first]
+	for i := 1; i < n; i++ {
+		if t.pageNode[first+i] != node {
+			return -1
+		}
+	}
+	return int(node)
+}
+
 // NodeOfWord returns the home node of the word at the given offset within a
 // region whose backing starts at basePage.
 func (t *Table) NodeOfWord(basePage int, wordIdx int) int {

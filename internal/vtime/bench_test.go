@@ -56,6 +56,21 @@ func benchAdvanceOverSteppers(b *testing.B, n int) {
 func BenchmarkAdvanceOverSteppers2(b *testing.B)  { benchAdvanceOverSteppers(b, 2) }
 func BenchmarkAdvanceOverSteppers48(b *testing.B) { benchAdvanceOverSteppers(b, 48) }
 
+// BenchmarkHandoff and BenchmarkInlineStep are the canonical pair tracking
+// the cost ratio the step conversions exploit: the same two-proc lockstep
+// schedule resolved by goroutine token handoffs versus by inline steps.
+// Each op is one scheduling turn; Handoff/InlineStep is the per-turn win of
+// step-converting a hot loop.
+
+// BenchmarkHandoff: both procs advance in direct style, so every Advance
+// crosses the horizon and transfers the token to the other goroutine.
+func BenchmarkHandoff(b *testing.B) { benchAdvanceCrossing(b, 2) }
+
+// BenchmarkInlineStep: the second proc is parked in StepWhile, so its turns
+// execute as function calls on the token holder's stack and the token never
+// moves.
+func BenchmarkInlineStep(b *testing.B) { benchAdvanceOverSteppers(b, 2) }
+
 // BenchmarkBlockWake measures a wake/block round trip between two procs.
 func BenchmarkBlockWake(b *testing.B) {
 	e := NewEngine(2)

@@ -142,8 +142,14 @@ func RunBarnesHut(rt *core.Runtime, scale float64) Result {
 			vp.ParallelRange(0, n, rowGrain(n, rt.Cfg.NumVProcs),
 				[]heap.Addr{vp.Root(curSlot), vp.Root(rootSlot), vp.Root(nextSlot)},
 				func(vp *core.VProc, lo, hi int, env core.Env) {
+					if vp.Runtime().Cfg.NoStepKernels {
+						for i := lo; i < hi; i++ {
+							stepBody(vp, d, env, i)
+						}
+						return
+					}
 					for i := lo; i < hi; i++ {
-						stepBody(vp, d, env, i)
+						stepBodyStepped(vp, d, env, i)
 					}
 				})
 			vp.SetRoot(curSlot, vp.Root(nextSlot))
@@ -399,6 +405,94 @@ func stepBody(vp *core.VProc, d BHDescs, env core.Env, i int) {
 		}
 	}
 	visit(env.Get(vp, 1), 0)
+
+	vx := w2f(bp[bodyVX]) + ax*bhDT
+	vy := w2f(bp[bodyVY]) + ay*bhDT
+	nx := x + vx*bhDT
+	ny := y + vy*bhDT
+	nw := []uint64{f2w(nx), f2w(ny), f2w(vx), f2w(vy), bp[bodyMass]}
+	nb := vp.AllocRaw(nw)
+	ns := vp.PushRoot(nb)
+	vp.StoreGlobalPtr(env.Get(vp, 2), i, ns)
+	vp.PopRoots(1)
+}
+
+// stepBodyStepped is stepBody with its loads and tree traversal run as an
+// explicit step-function state machine (the recursion flattened to a
+// frame stack): every charge the direct version issues as its own Advance
+// is returned from a step at the same virtual instant, so the schedule is
+// bit-identical while the finely interleaved turns of many vprocs execute
+// as inline calls on the token holder's stack. The leapfrog tail allocates
+// (a safepoint), so it stays in direct style after the machine finishes.
+func stepBodyStepped(vp *core.VProc, d BHDescs, env core.Env, i int) {
+	type frame struct {
+		cell  heap.Addr
+		depth int
+	}
+	var (
+		phase  int
+		body   heap.Addr
+		bp     []uint64
+		stack  []frame
+		x, y   float64
+		ax, ay float64
+	)
+	vp.RunSteps(func() (int64, bool) {
+		switch phase {
+		case 0: // the body-pointer load from the current vector
+			var c int64
+			body, c = vp.CostLoadPtr(env.Get(vp, 0), i)
+			phase = 1
+			return c, false
+		case 1: // the streamed body read (copied out: the tail allocates)
+			p, c := vp.CostReadBlock(body, 0)
+			bp = append(bp, p...)
+			x, y = w2f(bp[bodyX]), w2f(bp[bodyY])
+			stack = append(stack, frame{env.Get(vp, 1), 0})
+			phase = 2
+			return c, false
+		}
+		if len(stack) == 0 {
+			return 0, true
+		}
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// The top few tree levels are touched by every body of every
+		// task and stay resident in each node's cache; deeper cells
+		// are charged as memory traffic against the tree's home node
+		// — the shared-data pattern that limits this benchmark.
+		var p []uint64
+		var c int64
+		if f.depth < 3 {
+			p, c = vp.CostReadBlockCached(f.cell, bhVisitNs)
+		} else {
+			p, c = vp.CostReadBlock(f.cell, bhVisitNs)
+		}
+		m := w2f(p[cellMass])
+		if m == 0 {
+			return c, false
+		}
+		cx, cy := w2f(p[cellCX]), w2f(p[cellCY])
+		dx, dy := cx-x, cy-y
+		dist2 := dx*dx + dy*dy + 1e-4
+		size := 2 * w2f(p[cellHalf])
+		hasChildren := p[cellQ0] != 0 || p[cellQ1] != 0 || p[cellQ2] != 0 || p[cellQ3] != 0
+		if !hasChildren || size*size < bhTheta*bhTheta*dist2 {
+			inv := 1 / math.Sqrt(dist2)
+			fm := m * inv * inv * inv
+			ax += fm * dx
+			ay += fm * dy
+			return c, false
+		}
+		// Push children in reverse so they pop in quadrant order —
+		// the same pre-order traversal as the recursive visit.
+		for q := 3; q >= 0; q-- {
+			if kid := heap.Addr(p[cellQ0+q]); kid != 0 {
+				stack = append(stack, frame{kid, f.depth + 1})
+			}
+		}
+		return c, false
+	})
 
 	vx := w2f(bp[bodyVX]) + ax*bhDT
 	vy := w2f(bp[bodyVY]) + ay*bhDT

@@ -104,6 +104,40 @@ func ropeToInts(vp *core.VProc, a heap.Addr) []uint64 {
 	return out
 }
 
+// leafElems copies a leaf's elements out of the heap, charging the streamed
+// read and the batched per-element predicate compute. By default the two
+// charges run as inline steps (the hot loop of the NESL-style partition and
+// filter kernels, whose fine interleaving across vprocs otherwise costs a
+// goroutine handoff per charge); the NoStepKernels ablation issues them as
+// the two direct Advances. The copy is taken at the read instant because
+// the caller's flushes allocate, which may move the leaf.
+func leafElems(vp *core.VProc, a heap.Addr) []uint64 {
+	if vp.Runtime().Cfg.NoStepKernels {
+		words := append([]uint64(nil), vp.ReadBlock(a)...)
+		vp.Compute(int64(len(words)))
+		return words
+	}
+	var words []uint64
+	phase := 0
+	vp.RunSteps(func() (int64, bool) {
+		switch phase {
+		case 0:
+			p, c := vp.CostReadBlock(a, 0)
+			words = append(words, p...)
+			phase = 1
+			return c, false
+		case 1:
+			phase = 2
+			if len(words) == 0 {
+				return 0, true // Compute(0) charges nothing
+			}
+			return int64(len(words)), false
+		}
+		return 0, true
+	})
+	return words
+}
+
 // ropeFilter builds a new rope containing the elements for which keep
 // returns true, charging a streamed read of the input and allocation of the
 // output. The input rope is identified by a root slot (filtering allocates,
@@ -134,8 +168,7 @@ func ropeFilter(vp *core.VProc, d RopeDescs, slot int, keep func(uint64) bool) h
 			// Copy the leaf out before iterating: flush() allocates,
 			// and a collection may move the leaf (and reuse its old
 			// words) while a heap-aliasing slice is still being read.
-			words := append([]uint64(nil), vp.ReadBlock(a)...)
-			vp.Compute(int64(len(words))) // the predicate, batched
+			words := leafElems(vp, a)
 			for _, w := range words {
 				if keep(w) {
 					buf = append(buf, w)
@@ -191,8 +224,7 @@ func ropePartition3(vp *core.VProc, d RopeDescs, slot int, pivot uint64) heap.Ad
 			return
 		}
 		if vp.HeaderID(a) == heap.IDRaw {
-			words := append([]uint64(nil), vp.ReadBlock(a)...)
-			vp.Compute(int64(len(words)))
+			words := leafElems(vp, a)
 			for _, w := range words {
 				k := 1
 				if w < pivot {

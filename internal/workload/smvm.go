@@ -58,8 +58,14 @@ func RunSMVM(rt *core.Runtime, scale float64) Result {
 		vp.ParallelRange(0, rows, grain,
 			[]heap.Addr{vp.Root(rowSlot), vp.Root(vecSlot), vp.Root(outSlot)},
 			func(vp *core.VProc, lo, hi int, env core.Env) {
+				if vp.Runtime().Cfg.NoStepKernels {
+					for r := lo; r < hi; r++ {
+						smvmRow(vp, env, r)
+					}
+					return
+				}
 				for r := lo; r < hi; r++ {
-					smvmRow(vp, env, r)
+					smvmRowStepped(vp, env, r)
 				}
 			})
 
@@ -145,6 +151,72 @@ func smvmRow(vp *core.VProc, env core.Env, r int) {
 		acc += v * x
 	}
 	vp.Compute(smvmRowLen * 2)
+	// Publish the scalar result.
+	res := vp.AllocRaw([]uint64{f2w(acc)})
+	rs := vp.PushRoot(res)
+	vp.StoreGlobalPtr(env.Get(vp, 2), r, rs)
+	vp.PopRoots(1)
+}
+
+// smvmRowStepped is smvmRow with its load sequence — the row-pointer load,
+// the streamed row read, and the per-nonzero spine/block loads against the
+// shared vector — run as a step-function state machine, so the dependent
+// loads of many interleaved vprocs cost inline steps instead of goroutine
+// handoffs. The charges land at the same virtual instants as the direct
+// version's Advances; the allocating tail stays direct.
+func smvmRowStepped(vp *core.VProc, env core.Env, r int) {
+	const (
+		srLoadRow = iota
+		srReadRow
+		srLoadBlk
+		srLoadX
+		srCompute
+		srDone
+	)
+	var (
+		phase      int
+		row, spine heap.Addr
+		blk        heap.Addr
+		data       []uint64
+		acc        float64
+		k          int
+	)
+	vp.RunSteps(func() (int64, bool) {
+		switch phase {
+		case srLoadRow:
+			var c int64
+			row, c = vp.CostLoadPtr(env.Get(vp, 0), r)
+			phase = srReadRow
+			return c, false
+		case srReadRow:
+			p, c := vp.CostReadBlock(row, 0)
+			data = append(data, p...)
+			spine = env.Get(vp, 1)
+			phase = srLoadBlk
+			return c, false
+		case srLoadBlk:
+			col := int(data[2*k])
+			var c int64
+			blk, c = vp.CostLoadPtr(spine, col/vecBlockWords)
+			phase = srLoadX
+			return c, false
+		case srLoadX:
+			col := int(data[2*k])
+			w, c := vp.CostLoadWord(blk, col%vecBlockWords)
+			acc += w2f(data[2*k+1]) * w2f(w)
+			k++
+			if k < smvmRowLen {
+				phase = srLoadBlk
+			} else {
+				phase = srCompute
+			}
+			return c, false
+		case srCompute:
+			phase = srDone
+			return smvmRowLen * 2, false
+		}
+		return 0, true
+	})
 	// Publish the scalar result.
 	res := vp.AllocRaw([]uint64{f2w(acc)})
 	rs := vp.PushRoot(res)
