@@ -12,14 +12,18 @@
 //	gcbench -all                      # Figures 4-7
 //	gcbench -all -j 8                 # ... with 8 sweep workers
 //	gcbench -server                   # message-passing server sweep (both machines, all policies)
+//	gcbench -latency                  # open-loop latency sweep (tail latency under GC)
 //	gcbench -baseline BENCH_v3.json   # record a perf baseline (JSON)
 //	gcbench -compare BENCH_v3.json    # fail on any virtual-time drift
+//	gcbench -latency -baseline LATENCY_v1.json   # record the latency baseline
+//	gcbench -latency -compare LATENCY_v1.json    # latency drift gate
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -39,6 +43,7 @@ func main() {
 		figure   = flag.Int("figure", 0, "paper figure to regenerate (4-7)")
 		all      = flag.Bool("all", false, "regenerate all figures (4-7)")
 		server   = flag.Bool("server", false, "sweep the message-passing server workload (both machines, all three policies)")
+		latency  = flag.Bool("latency", false, "sweep the open-loop latency harness: tail latency under GC with pause attribution (fixed configuration)")
 		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = default reduced sizes)")
 		machine  = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32)")
 		policy   = flag.String("policy", "local", "page placement policy (local, interleaved, single-node)")
@@ -46,30 +51,65 @@ func main() {
 		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: the five paper benchmarks)")
 		verbose  = flag.Bool("v", false, "print per-run progress")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "sweep points to run concurrently (virtual results are identical for any value)")
-		baseline = flag.String("baseline", "", "write a perf-baseline JSON (Figure 5-7 points at p=1/24/48) to this file")
-		compare  = flag.String("compare", "", "re-run the baseline configuration and fail on any virtual_ms drift vs this JSON file")
+		baseline = flag.String("baseline", "", "write a perf-baseline JSON to this file (with -latency: the latency baseline)")
+		compare  = flag.String("compare", "", "re-run the baseline configuration and fail on any virtual drift vs this JSON file")
 	)
 	flag.Parse()
+
+	// Up-front flag validation: a bad value must fail here with an
+	// actionable message, not surface as a Config.Validate panic deep
+	// inside a sweep — or worse, be silently clamped into a run that looks
+	// like a real result (workload scaling clamps non-positive sizes to 1).
+	if !(*scale > 0) || math.IsInf(*scale, 0) {
+		fatal(fmt.Errorf("-scale %v is not a positive workload scale", *scale))
+	}
+	if *workers < 1 {
+		fatal(fmt.Errorf("-j %d is not a positive worker count", *workers))
+	}
+	var benchNames []string
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			name := strings.TrimSpace(b)
+			if _, err := workload.ByName(name); err != nil {
+				fatal(err)
+			}
+			benchNames = append(benchNames, name)
+		}
+	}
+	if *figure != 0 && (*figure < 4 || *figure > 7) {
+		fatal(fmt.Errorf("-figure %d out of range: the paper's figures are 4-7", *figure))
+	}
 
 	if *baseline != "" && *compare != "" {
 		fatal(fmt.Errorf("-baseline and -compare are mutually exclusive"))
 	}
-	if *baseline != "" || *compare != "" {
-		// Baselines are only comparable across PRs when they are always
-		// recorded at the one fixed configuration, so reject any other
-		// configuration flag rather than silently ignoring it. -j and -v
-		// are allowed: they do not change virtual results.
+	if *baseline != "" || *compare != "" || *latency {
+		// Baselines (and the latency sweep) are only comparable across PRs
+		// when they are always recorded at the one fixed configuration, so
+		// reject any other configuration flag rather than silently ignoring
+		// it. -j and -v are allowed: they do not change virtual results.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "baseline", "compare", "v", "j":
+			case "baseline", "compare", "latency", "v", "j":
 			default:
-				fatal(fmt.Errorf("-baseline/-compare use a fixed configuration; remove -%s", f.Name))
+				fatal(fmt.Errorf("-baseline/-compare/-latency use a fixed configuration; remove -%s", f.Name))
 			}
 		})
+		var progress func(string)
+		if *verbose {
+			progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		}
 		var err error
-		if *baseline != "" {
+		switch {
+		case *latency && *baseline != "":
+			err = writeLatencyBaseline(*baseline, *workers, progress)
+		case *latency && *compare != "":
+			err = compareLatencyBaseline(*compare, *workers, progress)
+		case *latency:
+			fmt.Println(bench.RenderLatency(bench.MeasureLatency(*workers, progress)))
+		case *baseline != "":
 			err = writeBaseline(*baseline, *workers)
-		} else {
+		default:
 			err = compareBaseline(*compare, *workers)
 		}
 		if err != nil {
@@ -82,8 +122,8 @@ func main() {
 	if *verbose {
 		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
-	if *benches != "" {
-		opt.Benchmarks = strings.Split(*benches, ",")
+	if benchNames != nil {
+		opt.Benchmarks = benchNames
 	}
 
 	switch {
@@ -124,6 +164,9 @@ func main() {
 				n, err := strconv.Atoi(strings.TrimSpace(s))
 				if err != nil {
 					fatal(fmt.Errorf("bad thread count %q: %w", s, err))
+				}
+				if n < 1 || n > topo.NumCores() {
+					fatal(fmt.Errorf("thread count %d out of range [1,%d] for machine %s", n, topo.NumCores(), topo.Name))
 				}
 				ts = append(ts, n)
 			}
@@ -306,5 +349,76 @@ func compareBaseline(path string, workers int) error {
 		return fmt.Errorf("%d baseline point(s) drifted vs %s", drift, path)
 	}
 	fmt.Printf("gcbench: all %d virtual-time points match %s\n", len(got), path)
+	return nil
+}
+
+// --- Latency baseline (LATENCY_v1.json) -------------------------------------
+
+// LatencyBaseline is the on-disk format of LATENCY_v*.json: the open-loop
+// latency sweep's percentile and pause-attribution results. Every field of
+// every point except wall_ns is a deterministic virtual result and is
+// compared exactly.
+type LatencyBaseline struct {
+	Version   int                  `json:"version"`
+	GoVersion string               `json:"go_version"`
+	Date      string               `json:"date"`
+	Points    []bench.LatencyPoint `json:"points"`
+}
+
+// writeLatencyBaseline measures the fixed latency sweep and writes the JSON
+// baseline.
+func writeLatencyBaseline(path string, workers int, progress func(string)) error {
+	pts := bench.MeasureLatency(workers, progress)
+	out := LatencyBaseline{
+		Version:   1,
+		GoVersion: runtime.Version(),
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Points:    pts,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareLatencyBaseline re-measures the fixed latency sweep and fails on
+// any drift in the virtual fields (percentiles, attribution, checksums)
+// against the stored baseline — the latency twin of compareBaseline.
+func compareLatencyBaseline(path string, workers int, progress func(string)) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want LatencyBaseline
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	got := bench.MeasureLatency(workers, progress)
+	wantPts := make(map[string]bench.LatencyPoint, len(want.Points))
+	for _, p := range want.Points {
+		wantPts[p.Key()] = p
+	}
+	drift := 0
+	for _, p := range got {
+		w, ok := wantPts[p.Key()]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gcbench: %s missing from %s\n", p.Key(), path)
+			drift++
+			continue
+		}
+		if !p.VirtualEq(w) {
+			fmt.Fprintf(os.Stderr, "gcbench: %s drifted:\n  baseline %+v\n  got      %+v\n", p.Key(), w, p)
+			drift++
+		}
+	}
+	if len(got) != len(want.Points) {
+		fmt.Fprintf(os.Stderr, "gcbench: point count differs: baseline %d, got %d\n", len(want.Points), len(got))
+		drift++
+	}
+	if drift > 0 {
+		return fmt.Errorf("%d latency point(s) drifted vs %s", drift, path)
+	}
+	fmt.Printf("gcbench: all %d latency points match %s\n", len(got), path)
 	return nil
 }

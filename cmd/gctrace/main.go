@@ -1,13 +1,26 @@
 // Command gctrace runs one benchmark and reports the garbage collector's
 // behaviour: per-phase event counts, copied volumes, pause profile, and the
-// runtime statistics behind them.
+// runtime statistics behind them. With -latency it instead runs the
+// open-loop traffic harness at one sweep-style configuration and prints the
+// latency percentiles with the per-request GC-pause attribution breakdown —
+// which collection phases overlapped the request lifetimes in each latency
+// band.
+//
+// Usage:
+//
+//	gctrace -bench barnes-hut -p 24 -scale 0.5
+//	gctrace -bench synthetic -events          # print every GC event
+//	gctrace -latency                          # tail latency under GC, attribution table
+//	gctrace -latency -gap 100000 -policy single-node
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/mempage"
 	"repro/internal/numa"
@@ -22,6 +35,8 @@ func main() {
 		vprocs    = flag.Int("p", 8, "number of vprocs")
 		scale     = flag.Float64("scale", 1.0, "workload scale")
 		events    = flag.Bool("events", false, "print every GC event")
+		latency   = flag.Bool("latency", false, "run the open-loop latency harness (GC-pressure heap shape) and print the pause-attribution breakdown")
+		gap       = flag.Int64("gap", 400_000, "with -latency: mean per-client inter-arrival gap in virtual ns (offered load)")
 	)
 	flag.Parse()
 
@@ -33,13 +48,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Validate flags up front with actionable errors: a bad scale would
+	// otherwise be silently clamped into a scale-1 run that looks like a
+	// real result, and a bad -p would panic deep inside Config.normalize.
+	if !(*scale > 0) || math.IsInf(*scale, 0) {
+		fatal(fmt.Errorf("-scale %v is not a positive workload scale", *scale))
+	}
+	if *vprocs < 1 || *vprocs > topo.NumCores() {
+		fatal(fmt.Errorf("-p %d out of range [1,%d] for machine %s", *vprocs, topo.NumCores(), topo.Name))
+	}
+	if *gap < 2 {
+		fatal(fmt.Errorf("-gap %d is not a usable inter-arrival gap (need >= 2 ns)", *gap))
+	}
+	// Reject flag combinations that would otherwise be silently ignored:
+	// the latency harness has a fixed workload shape (-bench/-scale do
+	// nothing under it), and -gap only means anything to the harness.
+	flag.Visit(func(f *flag.Flag) {
+		switch {
+		case *latency && (f.Name == "bench" || f.Name == "scale"):
+			fatal(fmt.Errorf("-latency runs the fixed open-loop harness; remove -%s (use -gap for load)", f.Name))
+		case !*latency && f.Name == "gap":
+			fatal(fmt.Errorf("-gap only applies to the -latency harness"))
+		}
+	})
 	spec, err := workload.ByName(*benchName)
 	if err != nil {
 		fatal(err)
 	}
 
-	cfg := core.DefaultConfig(topo, *vprocs)
-	cfg.Policy = pol
+	var cfg core.Config
+	if *latency {
+		// Mirror the gcbench -latency sweep's GC-pressure configuration so
+		// the attribution printed here corresponds to the baseline points.
+		cfg = bench.LatencyConfig(topo, pol, *vprocs)
+	} else {
+		cfg = core.DefaultConfig(topo, *vprocs)
+		cfg.Policy = pol
+	}
 	rt := core.MustNewRuntime(cfg)
 
 	var counts [5]int
@@ -51,15 +96,25 @@ func main() {
 		ns[ev.Kind] += ev.Ns
 		if *events {
 			fmt.Printf("[%10d ns] vproc %-2d %-12s %8d words %8d ns\n",
-				0, ev.VProc, ev.Kind, ev.Words, ev.Ns)
+				ev.At, ev.VProc, ev.Kind, ev.Words, ev.Ns)
 		}
 	})
 
-	res := spec.Run(rt, *scale)
+	var res workload.Result
+	var lat workload.LatencyResult
+	if *latency {
+		opt := bench.LatencyOptionsFor(*gap)
+		lat = workload.RunLatency(rt, opt)
+		res = lat.Result
+		fmt.Printf("open-loop latency harness on %s, policy %s, %d vprocs, %d clients x %d requests, mean gap %d ns\n",
+			topo.Name, pol, *vprocs, opt.Clients, opt.Requests, *gap)
+	} else {
+		res = spec.Run(rt, *scale)
+		fmt.Printf("benchmark %s on %s, policy %s, %d vprocs, scale %.2f\n",
+			spec.Name, topo.Name, pol, *vprocs, *scale)
+	}
 	s := res.Stats
 
-	fmt.Printf("benchmark %s on %s, policy %s, %d vprocs, scale %.2f\n",
-		spec.Name, topo.Name, pol, *vprocs, *scale)
 	fmt.Printf("elapsed (virtual): %.3f ms   checksum: %#x\n\n", float64(res.ElapsedNs)/1e6, res.Check)
 
 	fmt.Println("collection phases:")
@@ -77,8 +132,30 @@ func main() {
 			label, c, words[k], float64(ns[k])/float64(c)/1000)
 	}
 
+	if *latency {
+		us := func(v int64) float64 { return float64(v) / 1e3 }
+		fmt.Printf("\nrequest latency (virtual, from scheduled arrival):\n")
+		fmt.Printf("  p50 %.1f us   p90 %.1f us   p99 %.1f us   p99.9 %.1f us   (%d requests, %d timers fired)\n",
+			us(lat.P50), us(lat.P90), us(lat.P99), us(lat.P999), lat.Requests, s.TimersFired)
+		fmt.Println("\npause attribution (mean per request in band; local pools minor/major/promote over all vprocs, normalized by vproc count):")
+		fmt.Printf("  %-12s %8s %12s %14s %12s %12s\n", "band", "requests", "mean", "global-GC", "local-GC", "global-share")
+		band := func(name string, b workload.AttributionBand) {
+			share := 0.0
+			if b.MeanNs > 0 {
+				share = float64(b.Global.MeanNs) / float64(b.MeanNs)
+			}
+			fmt.Printf("  %-12s %8d %10.1fus %12.1fus %10.1fus %11.0f%%\n",
+				name, b.Count, us(b.MeanNs), us(b.Global.MeanNs), us(b.Local.MeanNs), share*100)
+		}
+		band("all", lat.All)
+		band(">=p99.9", lat.Tail)
+		fmt.Printf("  (%d global collections overlapped tail-request lifetimes; largest single overlap %.1f us)\n",
+			lat.Tail.GlobalGCs, us(lat.Tail.Global.MaxNs))
+	}
+
 	fmt.Println("\nruntime totals:")
 	fmt.Printf("  tasks run          %10d\n", s.TasksRun)
+	fmt.Printf("  timers fired       %10d\n", s.TimersFired)
 	fmt.Printf("  steals             %10d (failed probes %d)\n", s.Steals, s.FailedSteals)
 	fmt.Printf("  allocated          %10d words\n", s.AllocWords)
 	fmt.Printf("  minor copied       %10d words\n", s.MinorCopied)

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mempage"
+	"repro/internal/numa"
+	"repro/internal/workload"
+)
+
+// TestLatencySweepDeterministicAcrossWorkers: the latency sweep's virtual
+// results (percentiles, attribution, checksums) must be bit-identical for
+// any -j worker count — the same contract as the throughput sweeps, checked
+// point by point.
+func TestLatencySweepDeterministicAcrossWorkers(t *testing.T) {
+	serial := MeasureLatency(1, nil)
+	parallel := MeasureLatency(4, nil)
+	if len(serial) != len(parallel) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !serial[i].VirtualEq(parallel[i]) {
+			t.Errorf("%s differs across worker counts:\n  -j1: %+v\n  -j4: %+v", serial[i].Key(), serial[i], parallel[i])
+		}
+	}
+}
+
+// TestLatencyTailDominatedByGlobalGC pins the sweep's acceptance property:
+// at the low-load AMD point, the p99.9 tail's latency is majority-owned by
+// stop-the-world global collections — the pause attribution must show the
+// global share dominating both the local-GC share and half the tail mean.
+func TestLatencyTailDominatedByGlobalGC(t *testing.T) {
+	rt := core.MustNewRuntime(LatencyConfig(numa.AMD48(), mempage.PolicyLocal, 48))
+	res := workload.RunLatency(rt, LatencyOptionsFor(400_000))
+	if rt.Stats.GlobalGCs == 0 {
+		t.Fatal("no global collections at the low-load sweep point")
+	}
+	if res.Tail.Global.MeanNs <= res.Tail.Local.MeanNs {
+		t.Errorf("tail global overlap %d ns <= local %d ns", res.Tail.Global.MeanNs, res.Tail.Local.MeanNs)
+	}
+	if share := res.Tail.GlobalShare(); share < 0.5 {
+		t.Errorf("global share of p99.9 tail = %.2f, want >= 0.5 (tail mean %d ns, global %d ns)",
+			share, res.Tail.MeanNs, res.Tail.Global.MeanNs)
+	}
+	// The distribution must be bimodal: a microsecond-scale median with a
+	// pause-scale tail, not uniform saturation.
+	if res.P999 < 20*res.P50 {
+		t.Errorf("p99.9 %d ns vs p50 %d ns: expected a GC-pause tail well above the median", res.P999, res.P50)
+	}
+}

@@ -136,9 +136,11 @@ func (ch *Channel) Cap() int { return ch.cap }
 // receivers is a programming error (they would never be woken) and panics;
 // a closed channel may be reused, starting empty.
 func (ch *Channel) Close() {
-	// pop drains stale (already claimed elsewhere) registrations and
-	// reports a live one.
-	if _, _, ok := ch.waiters.pop(); ok {
+	// peekLive discards stale (already claimed elsewhere) registrations but
+	// leaves a live one in place: a caller that recovers from the panic
+	// must observe the waiter still parked and wakeable — a destructive
+	// probe here would silently unregister a live receiver, stranding it.
+	if _, ok := ch.waiters.peekLive(); ok {
 		panic("core: Close of a channel with parked receivers")
 	}
 	if ch.addr == 0 {
@@ -162,6 +164,24 @@ func (ch *Channel) Close() {
 	}
 	rt.unregisterGlobalRoot(&ch.addr)
 	ch.addr = 0
+}
+
+// PendingProxies returns the addresses of the pending messages' proxies in
+// FIFO order — a host-side diagnostic for tests and debugging; nothing is
+// charged and no proxy is consumed.
+func (ch *Channel) PendingProxies() []heap.Addr {
+	if ch.addr == 0 {
+		return nil
+	}
+	rt := ch.rt
+	var out []heap.Addr
+	p := rt.Space.Payload(ch.addr)
+	for n := heap.Addr(p[chanHeadSlot]); n != 0; {
+		np := rt.Space.Payload(n)
+		out = append(out, heap.Addr(np[qnodeMsgSlot]))
+		n = heap.Addr(np[qnodeNextSlot])
+	}
+	return out
 }
 
 // Send publishes the object held in the sender's root slot. The message is
@@ -414,6 +434,17 @@ func (vp *VProc) SelectThen(chans []*Channel, env []heap.Addr, fn func(vp *VProc
 	for i, ch := range chans {
 		ch.waiters.push(r, i)
 	}
+	vp.selectProbe(chans, r)
+}
+
+// selectProbe is the registered-continuation probe shared by SelectThen and
+// SelectThenTimeout: it walks the channels' pending chains in argument
+// order, claiming r and queuing the continuation task for the first pending
+// message. No advance separates the claim from the pop, so no delivery (or
+// timer fire) can interleave; if a sender delivered during a probe charge,
+// the claimed flag ends the walk.
+func (vp *VProc) selectProbe(chans []*Channel, r *rendezvous) {
+	rt := vp.rt
 	for i, ch := range chans {
 		if ch.addr == 0 {
 			continue
@@ -430,7 +461,7 @@ func (vp *VProc) SelectThen(chans []*Channel, env []heap.Addr, fn func(vp *VProc
 		r.claimed = true
 		vp.removeParked(r)
 		proxy := ch.popPending(vp, head)
-		vp.queue.pushBottom(contTask(vp, r.env, proxy, i, fn))
+		vp.queue.pushBottom(contTask(vp, r.env, proxy, i, r.fn))
 		return
 	}
 }
@@ -554,7 +585,7 @@ func (q *rendezvousRing) push(r *rendezvous, which int) {
 }
 
 // pop returns the oldest unclaimed rendezvous, discarding entries whose
-// rendezvous was already claimed through another channel.
+// rendezvous was already claimed through another channel (or a timer).
 func (q *rendezvousRing) pop() (*rendezvous, int, bool) {
 	for q.n > 0 {
 		e := q.buf[q.head]
@@ -566,4 +597,21 @@ func (q *rendezvousRing) pop() (*rendezvous, int, bool) {
 		}
 	}
 	return nil, 0, false
+}
+
+// peekLive reports whether a live (unclaimed) rendezvous is registered,
+// without unregistering it. Stale claimed entries at the head are discarded
+// — they are dead either way — but the first live entry stays in the ring,
+// still claimable by the next Send.
+func (q *rendezvousRing) peekLive() (*rendezvous, bool) {
+	for q.n > 0 {
+		e := q.buf[q.head]
+		if !e.r.claimed {
+			return e.r, true
+		}
+		q.buf[q.head] = ringEntry{}
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+	}
+	return nil, false
 }

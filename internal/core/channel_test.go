@@ -83,6 +83,17 @@ func TestChannelManyPendingAcrossGlobalGC(t *testing.T) {
 		if ch.Len() != n {
 			t.Fatalf("pending = %d, want %d", ch.Len(), n)
 		}
+		// The host-side diagnostic view of the chain must agree: n live
+		// proxies, all registered with the sender, in FIFO order.
+		proxies := ch.PendingProxies()
+		if len(proxies) != n {
+			t.Fatalf("PendingProxies = %d entries, want %d", len(proxies), n)
+		}
+		for i, pa := range proxies {
+			if _, ok := vp.proxyIdx[pa]; !ok {
+				t.Fatalf("pending proxy %d (%v) not in the sender's registry", i, pa)
+			}
+		}
 		for i := 0; i < n; i++ {
 			got, ok := ch.TryRecv(vp)
 			if !ok {
@@ -546,4 +557,70 @@ func TestCloseDropsPendingProxies(t *testing.T) {
 	if err := rt.VerifyHeap(); err != nil {
 		t.Errorf("heap invariants: %v", err)
 	}
+}
+
+// TestClosePanicLeavesWaiterParked is the regression test for Close's
+// destructive waiter probe: the panic path used to *pop* the live
+// registration off the rendezvous ring before panicking, so a caller that
+// recovered observed a ring silently missing one live waiter — the next
+// Send would enqueue instead of waking the parked receiver, stranding it
+// forever. Close must peek, not pop: after recovering, the waiter is still
+// parked and the next Send still hands off to it.
+func TestClosePanicLeavesWaiterParked(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(2))
+	ch := rt.NewChannel()
+	var got uint64
+	var panicked, handedOff bool
+	rt.Run(func(vp *VProc) {
+		recv := vp.Spawn(func(rvp *VProc, _ Env) {
+			m := ch.Recv(rvp)
+			got = rvp.LoadWord(m, 0)
+		})
+		vp.Compute(1_000_000) // let vproc 1 steal the receiver and park
+
+		func() {
+			defer func() {
+				panicked = recover() != nil
+			}()
+			ch.Close()
+		}()
+
+		// The recovered close must not have unregistered the waiter: this
+		// send still rendezvouses directly with the parked receiver.
+		m := vp.AllocRaw([]uint64{55})
+		s := vp.PushRoot(m)
+		ch.Send(vp, s)
+		handedOff = vp.Stats.ChanHandoffs > 0
+		vp.PopRoots(1)
+		vp.Join(recv)
+	})
+	if !panicked {
+		t.Fatal("Close with a parked receiver must panic")
+	}
+	if got != 55 {
+		t.Errorf("parked receiver got %d, want 55 — Close unregistered a live waiter", got)
+	}
+	if !handedOff {
+		t.Error("send after a recovered Close should still be a direct handoff")
+	}
+}
+
+// TestCloseSkipsStaleRegistrations: stale (already claimed) ring entries do
+// not block Close — only a live waiter is a programming error.
+func TestCloseSkipsStaleRegistrations(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	a, b := rt.NewChannel(), rt.NewChannel()
+	rt.Run(func(vp *VProc) {
+		// Park a select on both channels, then deliver via b: the entry on
+		// a goes stale.
+		vp.SelectThen([]*Channel{a, b}, nil, func(vp *VProc, _ Env, _ int, _ heap.Addr) {})
+		m := vp.AllocRaw([]uint64{1})
+		s := vp.PushRoot(m)
+		b.Send(vp, s)
+		vp.PopRoots(1)
+		vp.SleepFor(50_000) // run the continuation task
+
+		a.Close() // must not panic: the registration on a is stale
+		b.Close()
+	})
 }

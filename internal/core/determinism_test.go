@@ -64,6 +64,11 @@ func TestDeterministicRerun(t *testing.T) {
 		// lazy message promotion must all reschedule identically.
 		{"server", 12, mempage.PolicyLocal, 1},
 		{"server", 8, mempage.PolicyInterleaved, 0.5},
+		// Timer-heavy: the open-loop traffic harness drives thousands of
+		// virtual-time timers through the clamped idle machines; firing
+		// instants and the resulting latencies must be bit-identical.
+		{"latency", 16, mempage.PolicyLocal, 0.5},
+		{"latency", 8, mempage.PolicyInterleaved, 0.25},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -38,6 +38,7 @@ func (k EventKind) String() string {
 type GCEvent struct {
 	Kind  EventKind
 	VProc int
+	At    int64 // virtual completion time of the phase (At-Ns is its start)
 	Ns    int64 // virtual duration of the phase
 	Words int64 // words copied/promoted
 }
@@ -47,6 +48,10 @@ type Tracer func(ev GCEvent)
 
 // SetTracer installs a GC event tracer (nil disables tracing).
 func (rt *Runtime) SetTracer(t Tracer) { rt.tracer = t }
+
+// Tracer returns the installed tracer (nil if none), letting embedding code
+// chain its own recording onto an existing tracer instead of displacing it.
+func (rt *Runtime) Tracer() Tracer { return rt.tracer }
 
 // emit delivers an event to the tracer, if any.
 func (rt *Runtime) emit(ev GCEvent) {

@@ -54,7 +54,7 @@ func (rt *Runtime) requestGlobalGC(vp *VProc) {
 	g.pending = true
 	g.leader = vp.ID
 	g.startNs = vp.Now()
-	rt.emit(GCEvent{Kind: EvGlobalStart, VProc: vp.ID})
+	rt.emit(GCEvent{Kind: EvGlobalStart, VProc: vp.ID, At: g.startNs})
 	// Zero every vproc's limit pointer, including the requester's own, so
 	// its next safepoint joins the collection even if it stops
 	// allocating.
@@ -70,7 +70,17 @@ func (rt *Runtime) requestGlobalGC(vp *VProc) {
 // collection at a safepoint: §3.4 step 3 requires it to first perform its
 // minor and major collections, then join the parallel global phase.
 // minorGC triggers the major automatically while global.pending is set.
+//
+// The heap-idle wait is load-bearing: a thief may be mid-promotion out of
+// this vproc's heap (heapBusy), suspended inside one of the promotion's
+// chunk-fetch or copy charges. Collecting under it would move and slide the
+// very objects the thief's in-flight addresses name — the thief then writes
+// forwarding words at stale offsets, splitting live objects (observed as
+// duplicated and corrupted channel messages under the open-loop traffic
+// harness). The allocation safepoint has always waited; the preemption
+// path must too.
 func (vp *VProc) participateGlobal() {
+	vp.waitHeapIdle()
 	vp.minorGC()
 	if vp.rt.global.pending {
 		vp.globalCollect()
@@ -118,6 +128,12 @@ func (vp *VProc) globalCollect() {
 	}
 	vp.globalScanLoop()
 
+	// The scan is globally drained (globalScanLoop only returns once no
+	// unscanned data remains anywhere), so forwarding targets are final:
+	// repair this vproc's local promotion-forwarding words before the
+	// barrier, while the from-space headers are still intact.
+	vp.repairLocalForwarding()
+
 	g.scanDone.Arrive(vp.proc)
 
 	// Phase 4: the leader returns the old from-space chunks to the
@@ -141,7 +157,7 @@ func (vp *VProc) globalCollect() {
 		rt.Stats.GlobalGCs++
 		rt.Stats.GlobalCopied += g.copied
 		rt.Stats.GlobalNs += vp.Now() - g.startNs
-		rt.emit(GCEvent{Kind: EvGlobalEnd, VProc: vp.ID, Ns: vp.Now() - g.startNs, Words: g.copied})
+		rt.emit(GCEvent{Kind: EvGlobalEnd, VProc: vp.ID, At: vp.Now(), Ns: vp.Now() - g.startNs, Words: g.copied})
 		g.copied = 0
 		if rt.Cfg.Debug {
 			if err := rt.VerifyHeap(); err != nil {
@@ -189,19 +205,33 @@ func (vp *VProc) globalForward(a heap.Addr) heap.Addr {
 }
 
 // forwardClass classifies a pointer for global forwarding without charging:
-// need is false for the pass-through cases (nil, local-heap addresses, live
-// to-space objects, already-forwarded objects), with na the final address;
-// need is true when the object must be copied, with h its still-live
-// from-space header (read here, before any chunk fetch, exactly as the
-// direct code reads it).
+// need is false for the pass-through cases (nil, live local-heap addresses,
+// live to-space objects, already-forwarded objects), with na the final
+// address; need is true when the object must be copied, with h its
+// still-live from-space header (read here, before any chunk fetch, exactly
+// as the direct code reads it).
+//
+// A local-heap address is resolved through promotion forwarding words before
+// classification: when the referent was promoted, the reference's real
+// target is the global copy, which may be from-space — leaving the
+// reference pointing at the local forwarding word would hide the only live
+// path to the object from the collector, condemning it with its chunk (the
+// reference then dangles into reused from-space). Live local objects pass
+// through untouched, so runs without stale promotion words are
+// schedule-identical.
 func (vp *VProc) forwardClass(a heap.Addr) (na heap.Addr, h uint64, need bool) {
 	rt := vp.rt
 	if a == 0 {
 		return a, 0, false
 	}
 	r := rt.Space.Region(a.RegionID())
-	if r.Kind != heap.RegionChunk {
-		return a, 0, false // local-heap address: not the global collector's concern
+	for r.Kind != heap.RegionChunk {
+		lw := r.Words[a.Word()-1]
+		if heap.IsHeader(lw) {
+			return a, 0, false // live local object: not the global collector's concern
+		}
+		a = heap.ForwardTarget(lw)
+		r = rt.Space.Region(a.RegionID())
 	}
 	// Find the chunk: region IDs map 1:1 to chunk regions; the chunk
 	// carries the from-space flag.
@@ -337,8 +367,61 @@ func (vp *VProc) globalScanRootsDirect() {
 	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, (lh.OldTop-1)*8, numa.AccessCache))
 }
 
+// repairLocalForwarding rewrites the promotion forwarding words of this
+// vproc's local heap at the end of a global collection's scan phase. A
+// promotion leaves a forwarding word in the local heap whose target is about
+// to be condemned with its chunk: if the promoted object was evacuated (it
+// was reachable), the word is re-aimed at the to-space copy, so later
+// resolutions and heap walks never chase into from-space; if it was not (the
+// object is garbage — every traced reference was resolved past the word by
+// forwardClass), the word is neutralized into a dead raw header of the same
+// size, keeping the heap walkable without referencing the released chunk.
+// The repair is collector metadata maintenance folded into the scan phase:
+// it reads only state the scan already touched and is not charged, so
+// schedules are unchanged.
+func (vp *VProc) repairLocalForwarding() {
+	rt := vp.rt
+	lh := vp.Local
+	words := lh.Region.Words
+	for scan := 1; scan < lh.OldTop; {
+		h := words[scan]
+		var n int
+		if heap.IsHeader(h) {
+			n = heap.HeaderLen(h)
+		} else {
+			t := heap.ForwardTarget(h)
+			th := rt.Space.Header(t)
+			if heap.IsHeader(th) {
+				// Unevacuated: dead with its chunk.
+				n = heap.HeaderLen(th)
+				words[scan] = heap.MakeHeader(heap.IDRaw, n)
+			} else {
+				nt := heap.ForwardTarget(th)
+				words[scan] = heap.MakeForward(nt)
+				n = rt.Space.ObjectLen(nt)
+			}
+		}
+		scan += n + 1
+	}
+}
+
 // enqueueScan registers a to-space chunk as holding unscanned data.
 func (rt *Runtime) enqueueScan(c *heap.Chunk) {
+	if rt.Cfg.Debug {
+		for n, l := range rt.global.scanByNode {
+			for _, q := range l {
+				if q == c {
+					panic(fmt.Sprintf("core: chunk r%d double-enqueued on scan list %d (scan=%d top=%d owner=%d)",
+						c.Region.ID, n, c.Scan, c.Top, c.Owner))
+				}
+			}
+		}
+		for _, vp := range rt.VProcs {
+			if vp.scanningChunk == c {
+				panic(fmt.Sprintf("core: chunk r%d enqueued while vproc %d is mid-object in it", c.Region.ID, vp.ID))
+			}
+		}
+	}
 	node := c.Node
 	if !rt.Cfg.NodeLocalScan {
 		node = 0 // ablation: one shared list

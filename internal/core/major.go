@@ -147,7 +147,7 @@ func (vp *VProc) majorGC() {
 			panic(fmt.Sprintf("core: after major GC on vproc %d: %v", vp.ID, err))
 		}
 	}
-	rt.emit(GCEvent{Kind: EvMajor, VProc: vp.ID, Ns: vp.Now() - start, Words: copied})
+	rt.emit(GCEvent{Kind: EvMajor, VProc: vp.ID, At: vp.Now(), Ns: vp.Now() - start, Words: copied})
 	// The global-collection trigger (§3.4) is checked in getChunk, which
 	// observes every growth of the global heap including this major's
 	// chunk requests.

@@ -105,7 +105,7 @@ func (vp *VProc) minorGC() {
 			panic(fmt.Sprintf("core: after minor GC on vproc %d: %v", vp.ID, err))
 		}
 	}
-	rt.emit(GCEvent{Kind: EvMinor, VProc: vp.ID, Ns: vp.Now() - start, Words: copied})
+	rt.emit(GCEvent{Kind: EvMinor, VProc: vp.ID, At: vp.Now(), Ns: vp.Now() - start, Words: copied})
 
 	// §3.3: "A minor garbage collection triggers a major garbage
 	// collection when the size of the new nursery area falls below a

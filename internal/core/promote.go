@@ -105,7 +105,7 @@ func (vp *VProc) promoteFrom(owner *VProc, root heap.Addr) heap.Addr {
 	if promoted > 0 {
 		vp.Stats.Promotions++
 		vp.Stats.PromotedWords += promoted
-		rt.emit(GCEvent{Kind: EvPromote, VProc: vp.ID, Ns: vp.Now() - start, Words: promoted})
+		rt.emit(GCEvent{Kind: EvPromote, VProc: vp.ID, At: vp.Now(), Ns: vp.Now() - start, Words: promoted})
 	}
 	return na
 }

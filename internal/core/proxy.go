@@ -22,12 +22,15 @@ import (
 // in the given root slot and returns the proxy's global address.
 func (vp *VProc) NewProxy(localSlot int) heap.Addr {
 	rt := vp.rt
-	target := vp.roots[localSlot]
 	dst := rt.globalAllocDst(vp, heap.ProxySizeWords)
 	pa := dst.Bump(heap.MakeHeader(heap.IDProxy, heap.ProxySizeWords))
 	p := rt.Space.Payload(pa)
 	p[heap.ProxyOwnerSlot] = uint64(vp.ID)
-	p[heap.ProxyLocalSlot] = uint64(target)
+	// Read the target only now: the chunk reservation above may advance,
+	// and a thief promoting stolen work out of this heap can move the
+	// object meanwhile — the root slot is kept current, a copy taken
+	// before the advance is not.
+	p[heap.ProxyLocalSlot] = uint64(vp.roots[localSlot])
 	p[heap.ProxyGlobalSlot] = 0
 	node := rt.Space.NodeOf(pa)
 	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, heap.ProxySizeWords*8, numa.AccessMemory))
@@ -62,21 +65,35 @@ func (vp *VProc) ProxyDeref(proxy heap.Addr) heap.Addr {
 		return g
 	}
 	owner := rt.VProcs[p[heap.ProxyOwnerSlot]]
-	local := heap.Addr(p[heap.ProxyLocalSlot])
 	if owner == vp {
 		// The local slot may already hold a global address if the
 		// object was promoted for another reason; either way it is
 		// directly usable by the owner.
-		return vp.resolve(local)
+		return vp.resolve(heap.Addr(p[heap.ProxyLocalSlot]))
 	}
 	// Cross-vproc dereference: promote out of the owner's heap.
 	for owner.heapBusy {
 		vp.advance(rt.Cfg.SpinNs)
 	}
+	// The spin (and the probe charge above) advanced, so the observation
+	// must be redone before acting on it — the same observe-act discipline
+	// as Send's re-checks. Two things can have changed: a third vproc may
+	// have resolved this very proxy (promote again and the owner's
+	// dropProxy would double-drop), and the owner's collections may have
+	// moved the proxied object and reused its old space. Only the proxy's
+	// own local slot is kept current by those collections; a pre-advance
+	// copy of it can point at a dead forwarding word in reclaimed nursery
+	// space, which promoteFrom would chase into an arbitrary — even
+	// local-heap — address and cache in the global slot. (This was a real
+	// corruption: the open-loop traffic harness hits it within
+	// milliseconds at 48 vprocs under GC pressure.)
+	if g := heap.Addr(p[heap.ProxyGlobalSlot]); g != 0 {
+		return g
+	}
 	owner.heapBusy = true
+	local := heap.Addr(p[heap.ProxyLocalSlot])
 	g := vp.promoteFrom(owner, local)
 	owner.heapBusy = false
-	p = rt.Space.Payload(proxy) // unchanged address; reload for clarity
 	p[heap.ProxyGlobalSlot] = uint64(g)
 	p[heap.ProxyLocalSlot] = 0
 	owner.dropProxy(proxy)

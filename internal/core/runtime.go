@@ -93,6 +93,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	rt.Space = heap.NewSpace(rt.Pages)
 	rt.Chunks = heap.NewChunkManager(rt.Space, cfg.ChunkWords, cfg.Topo.NumNodes())
 	rt.Chunks.NodeAffine = cfg.NodeAffineChunks
+	rt.Chunks.Debug = cfg.Debug
 
 	cores := cfg.Topo.SparseCoreAssignment(cfg.NumVProcs)
 	for i := 0; i < cfg.NumVProcs; i++ {
@@ -172,6 +173,14 @@ func (rt *Runtime) getChunkStart(vp *VProc) (*heap.Chunk, int64) {
 // collection's scan phase the trigger check is inert (global.pending is
 // already set), which is what lets the scan machine run it from a step.
 func (rt *Runtime) getChunkFinish(vp *VProc, c *heap.Chunk) {
+	if rt.Cfg.Debug {
+		for _, o := range rt.VProcs {
+			if o != vp && o.curChunk == c {
+				panic(fmt.Sprintf("core: chunk r%d handed to vproc %d while vproc %d still allocates into it",
+					c.Region.ID, vp.ID, o.ID))
+			}
+		}
+	}
 	vp.curChunk = c
 
 	// §3.4: global collection is triggered when the allocated global
@@ -232,6 +241,7 @@ func (rt *Runtime) TotalStats() VPStats {
 		t.ChanSends += vp.Stats.ChanSends
 		t.ChanRecvs += vp.Stats.ChanRecvs
 		t.ChanHandoffs += vp.Stats.ChanHandoffs
+		t.TimersFired += vp.Stats.TimersFired
 	}
 	return t
 }

@@ -183,6 +183,9 @@ func (vp *VProc) Spawn(fn func(vp *VProc, env Env), env ...heap.Addr) *Task {
 // runTask executes a task on this vproc: the environment is moved onto the
 // executing vproc's root stack so collections keep it current.
 func (vp *VProc) runTask(t *Task) {
+	if t.done {
+		panic("core: task run twice")
+	}
 	base := len(vp.roots)
 	vp.roots = append(vp.roots, t.env...)
 	e := Env{base: base, n: len(t.env)}
@@ -280,8 +283,14 @@ const (
 // something to act on is observed. The charge/observe sequence is exactly
 // that of the same loops built on plain Advance: probes charge
 // StealAttemptNs before observing each victim, a failed sweep charges
-// PollNs, and loop-top checks (join completion, preemption signal, own
-// queue) re-run after every poll.
+// PollNs, and loop-top checks (join completion, preemption signal, due
+// timers, own queue) re-run after every poll.
+//
+// Timer exactness: every idle charge is clamped to the vproc's earliest
+// pending timer deadline (sweepCharge); a clamped charge lands exactly on
+// the deadline and sends the machine back to its loop top, which fires the
+// due timer and finds its continuation in the queue. With no timers armed
+// the machine is bit-identical to its pre-timer form.
 //
 // join, when non-nil, is the task whose completion ends the wait (Join's
 // loop); when nil, a failed multi-round sweep checks for quiescence instead
@@ -309,12 +318,15 @@ func (vp *VProc) sweep(join *Task, oneShot bool) (outcome int, victim *VProc) {
 				outcome = sweepPreempt
 				return 0, true
 			}
+			if vp.timers.Len() != 0 {
+				vp.fireDueTimers()
+			}
 			if vp.queue.size() > 0 {
 				outcome = sweepRunLocal
 				return 0, true
 			}
 			k = 1
-			return rt.Cfg.StealAttemptNs, false
+			return vp.sweepCharge(rt.Cfg.StealAttemptNs, &k), false
 		}
 		if k > 0 {
 			v := rt.VProcs[(vp.ID+k)%n]
@@ -326,7 +338,7 @@ func (vp *VProc) sweep(join *Task, oneShot bool) (outcome int, victim *VProc) {
 		}
 		k++
 		if k < n {
-			return rt.Cfg.StealAttemptNs, false
+			return vp.sweepCharge(rt.Cfg.StealAttemptNs, &k), false
 		}
 		vp.Stats.FailedSteals++
 		if oneShot {
@@ -338,9 +350,22 @@ func (vp *VProc) sweep(join *Task, oneShot bool) (outcome int, victim *VProc) {
 			return 0, true
 		}
 		k = -1
-		return rt.Cfg.PollNs, false
+		return vp.sweepCharge(rt.Cfg.PollNs, &k), false
 	})
 	return outcome, victim
+}
+
+// sweepCharge clamps an idle-machine charge to the vproc's earliest timer
+// deadline. When it clamps, the machine's next turn is redirected to the
+// loop top (k = -1) so the due timer fires exactly at its deadline; the
+// abandoned partial probe stays charged as idle time. With no timers armed
+// this is the identity.
+func (vp *VProc) sweepCharge(d int64, k *int) int64 {
+	if cd, clamped := vp.timerClamp(d); clamped {
+		*k = -1
+		return cd
+	}
+	return d
 }
 
 // idleSweep is the multi-round sweep used by schedulerLoop and Join.
@@ -351,13 +376,19 @@ func (vp *VProc) idleSweep(join *Task) (int, *VProc) {
 // trySteal attempts to steal one task, rotating over victims starting after
 // this vproc. On success the stolen task's environment is promoted out of
 // the victim's heap (lazy promotion at steal time). The probe loop runs
-// through the engine's inline-step path (see sweep).
+// through the engine's inline-step path (see sweep). A one-shot sweep only
+// reaches its loop top when a timer deadline interrupted it, so the extra
+// outcomes are timer-only paths: a fired timer's continuation is the next
+// task, and a preemption signal is left for the caller's next checkPreempt.
 func (vp *VProc) trySteal() *Task {
 	out, victim := vp.sweep(nil, true)
-	if out != sweepSteal {
-		return nil
+	switch out {
+	case sweepSteal:
+		return vp.stealFrom(victim)
+	case sweepRunLocal:
+		return vp.queue.popBottom()
 	}
-	return vp.stealFrom(victim)
+	return nil
 }
 
 // findWork returns the next task to run: own queue first, then stealing.
@@ -371,7 +402,9 @@ func (vp *VProc) findWork() *Task {
 // checkPreempt services a pending preemption signal outside allocation
 // sites (scheduler loop, join spins). The pending flag is consulted
 // directly as well as the limit pointer so that no interleaving of local
-// collections with a global request can drop the signal.
+// collections with a global request can drop the signal. Due timers fire
+// afterwards, so a deadline passed during the collection is serviced
+// immediately.
 func (vp *VProc) checkPreempt() {
 	if vp.Local.LimitZeroed() {
 		vp.Local.RestoreLimit()
@@ -379,20 +412,25 @@ func (vp *VProc) checkPreempt() {
 	if vp.rt.global.pending {
 		vp.participateGlobal()
 	}
+	if vp.timers.Len() != 0 {
+		vp.fireDueTimers()
+	}
 }
 
 // ServiceScheduler lets mutator code that is waiting on an external
 // condition (e.g. a channel receive) make progress: it services pending
-// preemption signals, runs one available task if any, and otherwise
-// advances one poll interval. Spin loops built on it cannot stall the
-// stop-the-world protocol.
+// preemption signals and due timers, runs one available task if any, and
+// otherwise advances one poll interval (clamped to the next timer deadline
+// so the following iteration fires it exactly on time). Spin loops built on
+// it cannot stall the stop-the-world protocol.
 func (vp *VProc) ServiceScheduler() {
 	vp.checkPreempt()
 	if t := vp.findWork(); t != nil {
 		vp.runTask(t)
 		return
 	}
-	vp.advance(vp.rt.Cfg.PollNs)
+	d, _ := vp.timerClamp(vp.rt.Cfg.PollNs)
+	vp.advance(d)
 }
 
 // schedulerLoop drives the vproc until the runtime has no outstanding

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+)
+
+// Virtual-time timers. Each vproc owns a deterministic deadline queue
+// (vtime.TimerQueue) of parked continuations; the queue is serviced only by
+// its owner, at the same safepoints that service preemption signals, so
+// firing needs no synchronization beyond the engine's token discipline.
+//
+// Exactness: a timer's continuation is enqueued at the first safepoint at or
+// after its deadline. While the owner is idle (steal sweeps, poll waits,
+// blocking channel waits, SleepUntil), every idle charge is clamped to the
+// earliest pending deadline (see timerClamp and its call sites in sched.go),
+// so that safepoint lands exactly ON the deadline — an idle vproc fires at
+// t, not at the next poll-tick after t. A vproc busy inside a task fires at
+// the task's next allocation safepoint or completion, which models real
+// wakeup jitter and is equally deterministic.
+//
+// GC safety: a parked timer continuation is a rendezvous on vp.parked —
+// exactly like a parked SelectThen continuation — so its captured
+// environment is forwarded by every minor, major, and global collection.
+// Firing moves the continuation to the owner's task queue (also a traced
+// root set), transferring the rt.outstanding count it acquired when parked.
+
+// timerArm parks r until a deadline: when it fires, fn runs as a task with
+// which = timeoutWhich and a nil message. A rendezvous armed on both a timer
+// and channel rings (SelectThenTimeout) is claimed by exactly one of them:
+// every claim site — sender delivery, the registrant's own pending-chain
+// probe, and the timer fire — tests and sets r.claimed inside a single
+// advance-free engine segment, so no interleaving can double-deliver or
+// strand the continuation.
+func (vp *VProc) timerArm(deadline int64, r *rendezvous) {
+	vp.timers.Add(deadline, r)
+}
+
+// timeoutWhich is the channel index delivered to a timed select's
+// continuation when the timer wins.
+const timeoutWhich = -1
+
+// fireDueTimers enqueues the continuation of every timer whose deadline has
+// been reached. Entries whose rendezvous was already claimed (a channel
+// delivered first) are discarded. Must run on the owning vproc.
+func (vp *VProc) fireDueTimers() {
+	var due []*rendezvous
+	for {
+		tm := vp.timers.PopDue(vp.Now())
+		if tm == nil {
+			break
+		}
+		r := tm.Data.(*rendezvous)
+		if r.claimed {
+			continue // a channel won the race; the ring entry is stale too
+		}
+		r.claimed = true
+		vp.removeParked(r)
+		due = append(due, r)
+	}
+	// Queue the batch in reverse: the owner pops its deque LIFO, so this
+	// runs the batch in (deadline, registration) order — two timers due at
+	// the same safepoint fire FIFO, like everything else in the queue
+	// discipline. Each continuation was counted in rt.outstanding when it
+	// parked; queuing the task transfers that count.
+	for i := len(due) - 1; i >= 0; i-- {
+		r := due[i]
+		vp.queue.pushBottom(timeoutTask(vp, r.env, r.fn))
+		vp.Stats.TimersFired++
+	}
+}
+
+// timeoutTask builds the task that resumes a timer-fired continuation: no
+// message exists, so fn receives timeoutWhich and a nil address.
+func timeoutTask(owner *VProc, env []heap.Addr, fn func(vp *VProc, env Env, which int, msg heap.Addr)) *Task {
+	tenv := append([]heap.Addr(nil), env...)
+	return &Task{owner: owner.ID, env: tenv, Fn: func(vp *VProc, e Env) {
+		fn(vp, e, timeoutWhich, 0)
+	}}
+}
+
+// timerClamp bounds an idle charge so the charge lands exactly on the
+// earliest pending deadline when that deadline is nearer than d; clamped
+// reports whether it did. With no pending timers it is the identity, which
+// keeps timer-free schedules bit-identical to the pre-timer engine. It must
+// be called at the virtual instant the charge starts (i.e. from the step or
+// immediately before the advance that applies it).
+func (vp *VProc) timerClamp(d int64) (int64, bool) {
+	dl, ok := vp.timers.NextDeadline()
+	if !ok {
+		return d, false
+	}
+	rem := dl - vp.Now()
+	if rem >= d {
+		return d, false
+	}
+	if rem < 0 {
+		rem = 0
+	}
+	return rem, true
+}
+
+// AtThen parks fn until the vproc's virtual clock reaches deadline, then
+// runs it as a task on this vproc's queue with the captured env (GC roots
+// while parked, exactly like a parked SelectThen continuation). A deadline
+// at or before the current clock fires at the vproc's next safepoint. The
+// continuation counts as outstanding work: the runtime does not quiesce
+// while timers are armed.
+func (vp *VProc) AtThen(deadline int64, env []heap.Addr, fn func(vp *VProc, env Env)) {
+	vp.rt.outstanding++
+	r := &rendezvous{
+		owner: vp,
+		env:   append([]heap.Addr(nil), env...),
+		fn: func(vp *VProc, e Env, _ int, _ heap.Addr) {
+			fn(vp, e)
+		},
+	}
+	vp.parked = append(vp.parked, r)
+	vp.timerArm(deadline, r)
+}
+
+// AfterThen is AtThen with a relative delay.
+func (vp *VProc) AfterThen(delay int64, env []heap.Addr, fn func(vp *VProc, env Env)) {
+	if delay < 0 {
+		panic(fmt.Sprintf("core: AfterThen with negative delay %d", delay))
+	}
+	vp.AtThen(vp.Now()+delay, env, fn)
+}
+
+// SelectThenTimeout is SelectThen with a deadline: fn runs as a task once
+// any of the channels delivers — receiving the winning index and the
+// resolved message — or once the timeout elapses first, receiving which ==
+// -1 and a nil message. Exactly one of the two happens: the channel
+// registrations and the timer share one rendezvous, and every delivery path
+// claims it in an advance-free segment. A message already pending at
+// registration time wins over an already-expired timeout (the registration
+// probe runs before the next timer safepoint).
+func (vp *VProc) SelectThenTimeout(chans []*Channel, timeout int64, env []heap.Addr, fn func(vp *VProc, env Env, which int, msg heap.Addr)) {
+	if len(chans) == 0 {
+		panic("core: SelectThenTimeout over no channels")
+	}
+	if timeout < 0 {
+		panic(fmt.Sprintf("core: SelectThenTimeout with negative timeout %d", timeout))
+	}
+	rt := vp.rt
+	rt.outstanding++
+	// Register the rendezvous on the timer and every channel BEFORE probing
+	// the pending chains — the same lost-wakeup discipline as SelectThen
+	// (see channel.go): a Send during a probe charge either sees the waiter
+	// or enqueued before registration, in which case the probe finds it.
+	r := &rendezvous{owner: vp, env: append([]heap.Addr(nil), env...), fn: fn}
+	vp.parked = append(vp.parked, r)
+	vp.timerArm(vp.Now()+timeout, r)
+	for i, ch := range chans {
+		ch.waiters.push(r, i)
+	}
+	vp.selectProbe(chans, r)
+}
+
+// RecvThenTimeout is the single-channel form of SelectThenTimeout: fn
+// receives ok == false (and a nil message) if the timeout fires first.
+func (ch *Channel) RecvThenTimeout(vp *VProc, timeout int64, env []heap.Addr, fn func(vp *VProc, env Env, msg heap.Addr, ok bool)) {
+	vp.SelectThenTimeout([]*Channel{ch}, timeout, env, func(vp *VProc, e Env, which int, msg heap.Addr) {
+		fn(vp, e, msg, which != timeoutWhich)
+	})
+}
+
+// SleepFor parks the vproc for d virtual nanoseconds; see SleepUntil.
+func (vp *VProc) SleepFor(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("core: SleepFor with negative duration %d", d))
+	}
+	vp.SleepUntil(vp.Now() + d)
+}
+
+// SleepUntil parks the vproc until its virtual clock reaches deadline. The
+// wait is GC-safe: the sleeper keeps servicing preemption signals (it joins
+// pending global collections — a sleeping vproc cannot stall the
+// stop-the-world protocol) and fires its own due timers, but unlike a
+// channel wait it does not run queued tasks — it is asleep, not idle; its
+// queue remains stealable. The vproc resumes exactly at deadline (or later
+// only if a collection it had to serve ran past it), stepping through the
+// engine's inline path so a long sleep costs function calls, not goroutine
+// handoffs.
+func (vp *VProc) SleepUntil(deadline int64) {
+	for {
+		vp.checkPreempt()
+		if vp.Now() >= deadline {
+			return
+		}
+		// Step toward the deadline in poll-sized increments (bounded so a
+		// preemption signal is noticed promptly), clamped to land exactly on
+		// the deadline — and on any nearer timer deadline, whose firing the
+		// loop top services.
+		vp.proc.StepWhile(func() (int64, bool) {
+			if vp.Local.LimitZeroed() || vp.rt.global.pending {
+				return 0, true
+			}
+			now := vp.Now()
+			if now >= deadline {
+				return 0, true
+			}
+			d := vp.rt.Cfg.PollNs
+			if now+d > deadline {
+				d = deadline - now
+			}
+			if cd, clamped := vp.timerClamp(d); clamped {
+				if cd == 0 {
+					return 0, true // a timer is due; fire it from the loop top
+				}
+				return cd, false
+			}
+			return d, false
+		})
+	}
+}

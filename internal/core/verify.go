@@ -60,7 +60,8 @@ func (rt *Runtime) VerifyHeap() error {
 				heap.ScanObject(rt.Space, rt.Descs, obj, func(slot int, p heap.Addr) heap.Addr {
 					if werr == nil {
 						if err := checkPtr(r, p); err != nil {
-							werr = fmt.Errorf("object %v slot %d: %w", obj, slot, err)
+							werr = fmt.Errorf("object %v (id %d, %d words) slot %d: %w",
+								obj, heap.HeaderID(h), heap.HeaderLen(h), slot, err)
 						}
 					}
 					return p

@@ -46,6 +46,12 @@ type VProc struct {
 	// queued task environments.
 	parked []*rendezvous
 
+	// timers is this vproc's deadline queue of parked timer continuations
+	// (see timer.go). Serviced only by the owner, at safepoints; the
+	// entries' rendezvous live on vp.parked, so their environments are
+	// GC roots through the same scans.
+	timers vtime.TimerQueue
+
 	// resultTasks holds completed result-producing tasks this vproc
 	// executed whose results have not been joined yet; the results are
 	// GC roots of this vproc.
@@ -88,6 +94,7 @@ type VPStats struct {
 	ChanSends       int64 // channel messages sent
 	ChanRecvs       int64 // channel messages received
 	ChanHandoffs    int64 // sends delivered directly to a parked receiver
+	TimersFired     int64 // timer continuations fired at their deadlines
 }
 
 // Runtimer accessors.
@@ -149,22 +156,15 @@ func (vp *VProc) TruncateRoots(depth int) { vp.roots = vp.roots[:depth] }
 // --- Allocation ---------------------------------------------------------
 
 // safepoint is executed before every allocation: it services pending
-// preemption signals (global collection requests, §3.4 step 2), waits out a
-// thief that is promoting from this heap, and runs minor/major collections
-// until the requested payload fits in the nursery.
+// preemption signals (global collection requests, §3.4 step 2), fires due
+// timers, waits out a thief that is promoting from this heap, and runs
+// minor/major collections until the requested payload fits in the nursery.
 func (vp *VProc) safepoint(needWords int) {
+	if vp.timers.Len() != 0 {
+		vp.fireDueTimers()
+	}
 	for {
-		if vp.heapBusy {
-			// A thief is promoting out of our heap; spin in
-			// virtual time (inline-stepped by the engine, so the
-			// wait costs no goroutine handoffs).
-			vp.proc.StepWhile(func() (int64, bool) {
-				if !vp.heapBusy {
-					return 0, true
-				}
-				return vp.rt.Cfg.SpinNs, false
-			})
-		}
+		vp.waitHeapIdle()
 		if vp.Local.LimitZeroed() {
 			vp.Local.RestoreLimit()
 		}
@@ -188,6 +188,23 @@ func (vp *VProc) safepoint(needWords int) {
 				needWords, vp.ID, vp.Local.NurseryWords()))
 		}
 	}
+}
+
+// waitHeapIdle spins (in virtual time, through the engine's inline-step
+// path) until no thief is promoting out of this vproc's heap. Every path
+// that is about to collect — the allocation safepoint and the preemption
+// service — must pass through it: a collection under an in-flight promotion
+// moves the objects the promoter's addresses name.
+func (vp *VProc) waitHeapIdle() {
+	if !vp.heapBusy {
+		return
+	}
+	vp.proc.StepWhile(func() (int64, bool) {
+		if !vp.heapBusy {
+			return 0, true
+		}
+		return vp.rt.Cfg.SpinNs, false
+	})
 }
 
 // chargeAllocCost accounts the memory traffic of initializing a fresh

@@ -24,6 +24,9 @@ type ChunkManager struct {
 	// is an ablation: reuse then takes any free chunk regardless of
 	// node.
 	NodeAffine bool
+	// Debug enables internal consistency assertions (double-free,
+	// double-activation); set by the runtime's Debug mode.
+	Debug bool
 
 	freeByNode [][]*Chunk
 	active     []*Chunk
@@ -108,6 +111,13 @@ func (m *ChunkManager) ChunkOf(regionID int) *Chunk {
 
 // activate adds a chunk to the active set and the trigger accounting.
 func (m *ChunkManager) activate(c *Chunk) {
+	if m.Debug {
+		for _, q := range m.active {
+			if q == c {
+				panic("heap: chunk double-activated")
+			}
+		}
+	}
 	m.active = append(m.active, c)
 	m.AllocatedWords += m.ChunkWords
 }
@@ -116,6 +126,15 @@ func (m *ChunkManager) activate(c *Chunk) {
 // from-space chunks after a global collection, whose words were already
 // removed from the trigger accounting by TakeActive.
 func (m *ChunkManager) Release(c *Chunk) {
+	if m.Debug {
+		for _, fl := range m.freeByNode {
+			for _, q := range fl {
+				if q == c {
+					panic("heap: chunk double-freed")
+				}
+			}
+		}
+	}
 	m.freeByNode[c.Node] = append(m.freeByNode[c.Node], c)
 	m.Released++
 }

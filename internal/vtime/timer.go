@@ -1,0 +1,122 @@
+package vtime
+
+// Timer is one scheduled deadline in a TimerQueue. Data carries the caller's
+// payload (e.g. a parked continuation); the queue never inspects it.
+type Timer struct {
+	// When is the virtual deadline in nanoseconds.
+	When int64
+	// seq breaks deadline ties in registration order, so the pop order is
+	// a pure function of the Add sequence — the determinism contract.
+	seq  uint64
+	Data any
+}
+
+// TimerQueue is a deterministic deadline min-heap: entries pop in (When,
+// registration-order) order, so two runs that add the same deadlines in the
+// same order drain identically. It is a plain data structure with no engine
+// coupling — the owner decides when "now" has reached a deadline (for a
+// vproc, the ready min-heap already schedules it at that instant; see
+// Proc.SleepUntil and the core scheduler's clamped idle charges).
+//
+// Like the engine's ready heap it is 4-ary: pops are sift-down dominated and
+// the wider node halves the depth; keys are unique so the arity cannot
+// change the pop order.
+type TimerQueue struct {
+	h   []*Timer
+	seq uint64
+}
+
+// Len reports the number of pending timers (including entries whose payload
+// the owner may since have invalidated — staleness is the owner's concern).
+func (q *TimerQueue) Len() int { return len(q.h) }
+
+// Add schedules data at the given deadline and returns the entry.
+func (q *TimerQueue) Add(when int64, data any) *Timer {
+	t := &Timer{When: when, seq: q.seq, Data: data}
+	q.seq++
+	h := append(q.h, t)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !timerLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	q.h = h
+	return t
+}
+
+// timerLess orders timers by (When, seq); keys are unique.
+func timerLess(a, b *Timer) bool {
+	return a.When < b.When || (a.When == b.When && a.seq < b.seq)
+}
+
+// NextDeadline returns the earliest pending deadline.
+func (q *TimerQueue) NextDeadline() (int64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].When, true
+}
+
+// PopDue removes and returns the earliest timer whose deadline has been
+// reached (When <= now), or nil if none is due.
+func (q *TimerQueue) PopDue(now int64) *Timer {
+	if len(q.h) == 0 || q.h[0].When > now {
+		return nil
+	}
+	return q.pop()
+}
+
+// pop removes the minimum entry.
+func (q *TimerQueue) pop() *Timer {
+	h := q.h
+	t := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		min := i
+		for c := first; c < last; c++ {
+			if timerLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	q.h = h
+	return t
+}
+
+// SleepUntil parks the proc until its virtual clock reaches t. In virtual
+// time a sleeping proc is simply a proc whose next event is at its deadline:
+// advancing the clock to t re-keys the proc in the ready heap so the
+// min-clock rule schedules every other proc first and hands control back
+// exactly at t — the ready heap doubles as the engine's timer queue, and the
+// horizon fast path applies unchanged. A deadline at or before the current
+// clock returns immediately with no reschedule.
+//
+// Code that must observe simulation state during the sleep (e.g. a runtime
+// servicing collection requests) should instead step toward the deadline in
+// bounded increments; see core.VProc.SleepUntil.
+func (p *Proc) SleepUntil(t int64) {
+	if t > p.clock {
+		p.Advance(t - p.clock)
+	}
+}

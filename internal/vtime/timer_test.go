@@ -1,0 +1,117 @@
+package vtime
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestTimerQueueOrder: timers pop in (deadline, registration-order) order
+// regardless of insertion order.
+func TestTimerQueueOrder(t *testing.T) {
+	var q TimerQueue
+	deadlines := []int64{50, 10, 30, 10, 90, 30, 10, 70}
+	for i, d := range deadlines {
+		q.Add(d, i)
+	}
+	if q.Len() != len(deadlines) {
+		t.Fatalf("Len = %d, want %d", q.Len(), len(deadlines))
+	}
+	if dl, ok := q.NextDeadline(); !ok || dl != 10 {
+		t.Fatalf("NextDeadline = %d, %v; want 10, true", dl, ok)
+	}
+
+	// Expected pop order: sort (deadline, insertion index) pairs.
+	type key struct {
+		when int64
+		idx  int
+	}
+	var want []key
+	for i, d := range deadlines {
+		want = append(want, key{d, i})
+	}
+	sort.Slice(want, func(a, b int) bool {
+		if want[a].when != want[b].when {
+			return want[a].when < want[b].when
+		}
+		return want[a].idx < want[b].idx
+	})
+
+	for _, w := range want {
+		tm := q.PopDue(1 << 62)
+		if tm == nil {
+			t.Fatal("PopDue returned nil with entries pending")
+		}
+		if tm.When != w.when || tm.Data.(int) != w.idx {
+			t.Fatalf("popped (%d, %d), want (%d, %d)", tm.When, tm.Data.(int), w.when, w.idx)
+		}
+	}
+	if q.PopDue(1<<62) != nil || q.Len() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+// TestTimerQueuePopDueRespectsNow: PopDue only yields entries at or before
+// now.
+func TestTimerQueuePopDueRespectsNow(t *testing.T) {
+	var q TimerQueue
+	q.Add(100, "late")
+	q.Add(40, "early")
+	if tm := q.PopDue(39); tm != nil {
+		t.Fatalf("PopDue(39) = %v, want nil", tm.Data)
+	}
+	if tm := q.PopDue(40); tm == nil || tm.Data != "early" {
+		t.Fatalf("PopDue(40) should pop the deadline-40 entry")
+	}
+	if tm := q.PopDue(99); tm != nil {
+		t.Fatalf("PopDue(99) = %v, want nil", tm.Data)
+	}
+	if tm := q.PopDue(100); tm == nil || tm.Data != "late" {
+		t.Fatalf("PopDue(100) should pop the deadline-100 entry")
+	}
+}
+
+// TestProcSleepUntil: sleeping procs are rescheduled exactly at their
+// deadlines, interleaved with running procs by the min-clock rule.
+func TestProcSleepUntil(t *testing.T) {
+	e := NewEngine(3)
+	type wake struct {
+		id    int
+		clock int64
+	}
+	var wakes []wake
+	e.Run(func(p *Proc) {
+		deadline := int64(100 * (p.ID + 1)) // 100, 200, 300
+		p.SleepUntil(deadline)
+		wakes = append(wakes, wake{p.ID, p.Now()})
+		if p.ID == 0 {
+			// Sleep again past the others to test re-sleeping.
+			p.SleepUntil(500)
+			wakes = append(wakes, wake{p.ID, p.Now()})
+		}
+	})
+	want := []wake{{0, 100}, {1, 200}, {2, 300}, {0, 500}}
+	if len(wakes) != len(want) {
+		t.Fatalf("wakes = %v, want %v", wakes, want)
+	}
+	for i := range want {
+		if wakes[i] != want[i] {
+			t.Fatalf("wake %d = %+v, want %+v", i, wakes[i], want[i])
+		}
+	}
+}
+
+// TestProcSleepUntilPast: a deadline at or before the clock is a no-op.
+func TestProcSleepUntilPast(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(func(p *Proc) {
+		p.Advance(50)
+		p.SleepUntil(10)
+		if p.Now() != 50 {
+			t.Errorf("clock moved backwards or advanced: %d", p.Now())
+		}
+		p.SleepUntil(50)
+		if p.Now() != 50 {
+			t.Errorf("sleeping until now advanced the clock: %d", p.Now())
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mempage"
+	"repro/internal/numa"
+)
+
+// heavyPressureConfig is the configuration that exposed three latent GC/
+// channel bugs while the open-loop latency harness was being built: many
+// vprocs, small heaps, and a low global trigger, so steals, promotions,
+// proxy dereferences, and all three collection flavors interleave densely.
+func heavyPressureConfig(nv int) core.Config {
+	cfg := core.DefaultConfig(numa.AMD48(), nv)
+	cfg.Policy = mempage.PolicyLocal
+	cfg.LocalHeapWords = 16 << 10
+	cfg.ChunkWords = 2 << 10
+	cfg.GlobalTriggerWords = 24 * cfg.ChunkWords
+	return cfg
+}
+
+// TestServerHeavyTrafficGCPressure is the regression test for three bugs
+// this configuration exposed (each deterministic, each corrupting or
+// duplicating channel messages):
+//
+//  1. ProxyDeref read the proxy's local slot before its probe charge and
+//     heap-busy spin, then promoted through the stale copy — chasing a dead
+//     forwarding word in reclaimed nursery space into an arbitrary address
+//     that got cached in the proxy's global slot.
+//  2. The global collector neither traced through nor repaired local-heap
+//     promotion forwarding words, so references that resolve through them
+//     dangled into released from-space chunks, and heap walks that take
+//     object lengths through them desynced after chunk reuse.
+//  3. A vproc could service a global-collection preemption while a thief
+//     was suspended mid-promotion out of its heap (only the allocation
+//     safepoint waited for heapBusy, not checkPreempt/participateGlobal);
+//     its minor+major then slid the old area under the thief, whose stale
+//     addresses split live objects — messages were lost, duplicated, and
+//     corrupted.
+//
+// The full-heap verifier runs after every collection phase, and the reply
+// checksum must match the host-side reference exactly.
+func TestServerHeavyTrafficGCPressure(t *testing.T) {
+	cfg := heavyPressureConfig(16)
+	cfg.Debug = true
+	rt := core.MustNewRuntime(cfg)
+	res := RunServer(rt, 10)
+	if want := ServerSeq(cfg.Seed, 10); res.Check != want {
+		t.Errorf("check %#x, want %#x (messages lost, duplicated, or corrupted)", res.Check, want)
+	}
+	if rt.Stats.GlobalGCs < 10 {
+		t.Errorf("only %d global collections; the test needs dense GC interleaving", rt.Stats.GlobalGCs)
+	}
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}
+
+// TestLatencyAtFullMachine runs the latency harness at the sweep's largest
+// configuration (48 vprocs under GC pressure) — the point that originally
+// crashed on the seed's proxy-staleness bug within milliseconds.
+func TestLatencyAtFullMachine(t *testing.T) {
+	rt := core.MustNewRuntime(heavyPressureConfig(48))
+	opt := LatencyOptions{Clients: 600, Requests: 6, MeanGapNs: 50_000}
+	res := RunLatency(rt, opt)
+	if want := LatencySeq(rt.Cfg.Seed, opt); res.Check != want {
+		t.Errorf("check %#x, want %#x", res.Check, want)
+	}
+	if rt.Stats.GlobalGCs == 0 {
+		t.Error("expected global collections under pressure")
+	}
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}

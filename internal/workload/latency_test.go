@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// latTestOptions is a small harness shape for correctness tests.
+func latTestOptions() LatencyOptions {
+	return LatencyOptions{Clients: 40, Requests: 5, MeanGapNs: 60_000}
+}
+
+// latPressureConfig provokes every collection flavor during the run.
+func latPressureConfig(nv int) core.Config {
+	cfg := testConfig(nv)
+	cfg.GlobalTriggerWords = 2 * cfg.ChunkWords
+	return cfg
+}
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every sample must land in a bucket whose [low, nextLow) range
+	// contains it, and bucket lows must be strictly increasing.
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, (1 << 40) + 12345, 1<<62 + 7}
+	for _, v := range vals {
+		b := histBucketOf(v)
+		lo := histBucketLow(b)
+		hi := int64(1<<63 - 1)
+		if b+1 < histBuckets {
+			hi = histBucketLow(b + 1)
+		}
+		if v < lo || v >= hi {
+			t.Errorf("value %d mapped to bucket %d = [%d, %d)", v, b, lo, hi)
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if histBucketLow(i) <= histBucketLow(i-1) {
+			t.Fatalf("bucket lows not increasing at %d: %d <= %d", i, histBucketLow(i), histBucketLow(i-1))
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	// Quantiles report bucket lower bounds: within one bucket (~3%) below
+	// the exact order statistic, never above it.
+	cases := []struct {
+		num, den, exact int64
+	}{{50, 100, 500}, {90, 100, 900}, {99, 100, 990}, {999, 1000, 999}, {1, 1000, 1}}
+	for _, c := range cases {
+		got := h.Quantile(c.num, c.den)
+		if got > c.exact || got < c.exact-c.exact/16-1 {
+			t.Errorf("Quantile(%d/%d) = %d, want within a bucket below %d", c.num, c.den, got, c.exact)
+		}
+	}
+	var empty Hist
+	if empty.Quantile(50, 100) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+// TestLatencyMatchesReference: the reply checksum equals the host-side
+// reference at every vproc count — message contents are never corrupted by
+// the timer-driven scheduling.
+func TestLatencyMatchesReference(t *testing.T) {
+	opt := latTestOptions()
+	want := LatencySeq(testConfig(1).Seed, opt)
+	for _, nv := range []int{1, 2, 4} {
+		cfg := testConfig(nv)
+		cfg.Debug = nv == 2
+		rt := core.MustNewRuntime(cfg)
+		res := RunLatency(rt, opt)
+		if res.Check != want {
+			t.Errorf("latency at %d vprocs: check %#x, want %#x", nv, res.Check, want)
+		}
+		if res.Requests != opt.Clients*opt.Requests {
+			t.Errorf("completed %d requests, want %d", res.Requests, opt.Clients*opt.Requests)
+		}
+		if int(res.Hist.N()) != res.Requests {
+			t.Errorf("histogram holds %d samples, want %d", res.Hist.N(), res.Requests)
+		}
+		if res.Stats.TimersFired < int64(res.Requests) {
+			t.Errorf("TimersFired = %d; every request send is timer-fired (want >= %d)",
+				res.Stats.TimersFired, res.Requests)
+		}
+	}
+}
+
+// TestLatencyDeterministicRerun: the full result — percentiles, histogram,
+// attribution bands — is bit-identical across reruns, including under GC
+// pressure.
+func TestLatencyDeterministicRerun(t *testing.T) {
+	run := func() LatencyResult {
+		rt := core.MustNewRuntime(latPressureConfig(4))
+		return RunLatency(rt, latTestOptions())
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("latency results diverged across reruns:\n  %+v\nvs\n  %+v", a.All, b.All)
+		if a.P50 != b.P50 || a.P99 != b.P99 {
+			t.Logf("percentiles: %d/%d/%d/%d vs %d/%d/%d/%d", a.P50, a.P90, a.P99, a.P999, b.P50, b.P90, b.P99, b.P999)
+		}
+	}
+}
+
+// TestLatencyAttributionUnderPressure: with tiny heaps and a low global
+// trigger the run must cross global collections, and the attribution must
+// see them: requests alive during a stop-the-world pause carry its full
+// duration, so the tail band's global share must be populated and the p99.9
+// tail must sit above the median.
+func TestLatencyAttributionUnderPressure(t *testing.T) {
+	rt := core.MustNewRuntime(latPressureConfig(4))
+	res := RunLatency(rt, latTestOptions())
+	if rt.Stats.GlobalGCs == 0 {
+		t.Fatal("pressure config did not force a global collection")
+	}
+	if res.P999 < res.P50 {
+		t.Errorf("p99.9 %d < p50 %d", res.P999, res.P50)
+	}
+	if res.All.Count != res.Requests {
+		t.Errorf("All band covers %d of %d requests", res.All.Count, res.Requests)
+	}
+	if res.Tail.Count == 0 || res.Tail.Count > res.All.Count {
+		t.Errorf("Tail band covers %d requests (all: %d)", res.Tail.Count, res.All.Count)
+	}
+	if res.Tail.MeanNs < res.All.MeanNs {
+		t.Errorf("tail mean %d below overall mean %d", res.Tail.MeanNs, res.All.MeanNs)
+	}
+	if res.All.GlobalGCs == 0 {
+		t.Error("no request lifetime overlapped a global collection")
+	}
+	// The acceptance figure: stop-the-world pauses dominate the p99.9 tail
+	// — the mean global overlap in the tail band exceeds the (normalized)
+	// local overlap and is a substantial share of tail latency.
+	if res.Tail.Global.MeanNs <= res.Tail.Local.MeanNs {
+		t.Errorf("tail global overlap %d ns <= local %d ns; expected global pauses to dominate",
+			res.Tail.Global.MeanNs, res.Tail.Local.MeanNs)
+	}
+	if res.Tail.GlobalShare() < 0.25 {
+		t.Errorf("global share of tail latency = %.2f, want >= 0.25 (tail mean %d, global %d)",
+			res.Tail.GlobalShare(), res.Tail.MeanNs, res.Tail.Global.MeanNs)
+	}
+}
+
+// TestLatencyVProcCountIndependentContent: latencies differ across vproc
+// counts (more parallelism, shorter queues) but content never does; and the
+// checksum from the Spec entry point matches the direct API.
+func TestLatencySpecEntryPoint(t *testing.T) {
+	spec, err := ByName("latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runAt(t, spec, 2, 0.25, false)
+	want := LatencySeq(testConfig(1).Seed, DefaultLatencyOptions(0.25))
+	if res.Check != want {
+		t.Errorf("spec check %#x, want %#x", res.Check, want)
+	}
+}

@@ -46,6 +46,7 @@ func All() []Spec {
 		{Name: "smvm", Paper: "1,091,362-element sparse matrix x 16,614 vector", Run: RunSMVM},
 		{Name: "synthetic", Paper: "allocation churn (synthetic)", Run: RunSynthetic},
 		{Name: "server", Paper: "message-passing server over CML channels (beyond the paper)", Run: RunServer},
+		{Name: "latency", Paper: "open-loop timer-driven traffic, latency under GC (beyond the paper)", Run: RunLatencySpec},
 	}
 }
 
