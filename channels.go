@@ -22,17 +22,26 @@ package manticore
 //	ch := rt.NewChannel()          // unbounded mailbox
 //	mb := rt.NewMailbox(8)         // bounded: Send blocks while full
 //	ch.Send(w, slot)               // publish the object in a root slot
+//	st := ch.TrySend(w, slot)      // non-blocking: SendOK / SendFull / SendClosed
 //	a, ok := ch.TryRecv(w)         // non-blocking receive
 //	a := ch.Recv(w)                // blocking receive (parks a waiter)
 //	i, a := w.Select(ch1, ch2)     // blocking receive over several channels
 //	ch.RecvThen(w, env, fn)        // continuation receive (parks a task)
 //	w.SelectThen(chans, env, fn)   // continuation select
-//	ch.Close()                     // unpin the heap record (dynamic channels)
+//	ch.Close()                     // permanent close: close-as-status
 //
 // Recv and Select park the calling stack frame and service the scheduler
 // while waiting; RecvThen and SelectThen park a *task* instead, which is the
 // shape to use for deep request/response topologies (a parked frame that
 // runs its own producer deadlocks; a parked task cannot).
+//
+// Close is permanent and idempotent, and closure is delivered as a status,
+// never a panic: Send and TrySend report SendClosed — even for a close
+// landing mid-send — parked and future receivers wake with a nil message
+// (Addr 0, ok == false, which == -1), and pending undelivered messages are
+// discarded. This is the recoverable-failure path the overload harness and
+// fault injection build on — a server can drain a lane until Close and
+// treat the nil message as the shutdown signal.
 
 import "repro/internal/core"
 

@@ -13,14 +13,16 @@
 //	gcbench -all -j 8                 # ... with 8 sweep workers
 //	gcbench -server                   # message-passing server sweep (both machines, all policies)
 //	gcbench -latency                  # open-loop latency sweep (tail latency under GC)
+//	gcbench -overload                 # overload sweep (goodput/SLO vs offered load, faulted points)
+//	gcbench -overload -loads 80000,40000 -admission deadline -fault-seed 7
 //	gcbench -baseline BENCH_v3.json   # record a perf baseline (JSON)
 //	gcbench -compare BENCH_v3.json    # fail on any virtual-time drift
 //	gcbench -latency -baseline LATENCY_v1.json   # record the latency baseline
 //	gcbench -latency -compare LATENCY_v1.json    # latency drift gate
+//	gcbench -overload -compare OVERLOAD_v1.json  # overload drift gate
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -28,11 +30,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
-	"time"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/mempage"
 	"repro/internal/numa"
 	"repro/internal/workload"
@@ -40,19 +39,23 @@ import (
 
 func main() {
 	var (
-		figure   = flag.Int("figure", 0, "paper figure to regenerate (4-7)")
-		all      = flag.Bool("all", false, "regenerate all figures (4-7)")
-		server   = flag.Bool("server", false, "sweep the message-passing server workload (both machines, all three policies)")
-		latency  = flag.Bool("latency", false, "sweep the open-loop latency harness: tail latency under GC with pause attribution (fixed configuration)")
-		scale    = flag.Float64("scale", 1.0, "workload scale (1.0 = default reduced sizes)")
-		machine  = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32)")
-		policy   = flag.String("policy", "local", "page placement policy (local, interleaved, single-node)")
-		threads  = flag.String("threads", "", "comma-separated thread counts for custom sweeps")
-		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: the five paper benchmarks)")
-		verbose  = flag.Bool("v", false, "print per-run progress")
-		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "sweep points to run concurrently (virtual results are identical for any value)")
-		baseline = flag.String("baseline", "", "write a perf-baseline JSON to this file (with -latency: the latency baseline)")
-		compare  = flag.String("compare", "", "re-run the baseline configuration and fail on any virtual drift vs this JSON file")
+		figure    = flag.Int("figure", 0, "paper figure to regenerate (4-7)")
+		all       = flag.Bool("all", false, "regenerate all figures (4-7)")
+		server    = flag.Bool("server", false, "sweep the message-passing server workload (both machines, all three policies)")
+		latency   = flag.Bool("latency", false, "sweep the open-loop latency harness: tail latency under GC with pause attribution (fixed configuration)")
+		overload  = flag.Bool("overload", false, "sweep the overload harness: goodput/SLO vs offered load per admission policy, with faulted points")
+		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = default reduced sizes)")
+		machine   = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32)")
+		policy    = flag.String("policy", "local", "page placement policy (local, interleaved, single-node)")
+		threads   = flag.String("threads", "", "comma-separated thread counts for custom sweeps")
+		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: the five paper benchmarks)")
+		loads     = flag.String("loads", "", "with -overload: comma-separated mean inter-arrival gaps in virtual ns (default: the 0.4x/1x/2x/4x saturation ladder)")
+		admission = flag.String("admission", "", "with -overload: comma-separated admission policies (none, queue, deadline; default: all three)")
+		faultSeed = flag.Uint64("fault-seed", bench.OverloadFaultSeed, "with -overload: seed of the faulted top-load points (0 disables them)")
+		verbose   = flag.Bool("v", false, "print per-run progress")
+		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "sweep points to run concurrently (virtual results are identical for any value)")
+		baseline  = flag.String("baseline", "", "write a perf-baseline JSON to this file (with -latency/-overload: that sweep's baseline)")
+		compare   = flag.String("compare", "", "re-run the baseline configuration and fail on any virtual drift vs this JSON file")
 	)
 	flag.Parse()
 
@@ -79,20 +82,70 @@ func main() {
 	if *figure != 0 && (*figure < 4 || *figure > 7) {
 		fatal(fmt.Errorf("-figure %d out of range: the paper's figures are 4-7", *figure))
 	}
+	if *latency && *overload {
+		fatal(fmt.Errorf("-latency and -overload are mutually exclusive sweeps"))
+	}
+
+	// The overload knobs are validated whenever set (reject, never clamp)
+	// and only mean anything to a custom -overload sweep: RunOverload
+	// panics on a gap below 2 ns, so the CLI must catch that first with a
+	// usable message, and an unknown admission name must not half-run a
+	// sweep before failing inside a worker.
+	sweep := bench.DefaultOverloadSweep()
+	sweep.FaultSeed = *faultSeed
+	overloadKnobs := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "loads", "admission", "fault-seed":
+			overloadKnobs = true
+		}
+	})
+	if overloadKnobs && !*overload {
+		fatal(fmt.Errorf("-loads/-admission/-fault-seed only apply to the -overload sweep"))
+	}
+	if *loads != "" {
+		sweep.Loads = nil
+		for _, s := range strings.Split(*loads, ",") {
+			gap, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -loads gap %q: %w", s, err))
+			}
+			if gap < 2 {
+				fatal(fmt.Errorf("-loads gap %d is not a usable inter-arrival gap (need >= 2 ns)", gap))
+			}
+			sweep.Loads = append(sweep.Loads, bench.OverloadLoad{Name: fmt.Sprintf("%dns", gap), MeanGapNs: gap})
+		}
+	}
+	if *admission != "" {
+		sweep.Admissions = nil
+		for _, s := range strings.Split(*admission, ",") {
+			adm, err := workload.ParseAdmission(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			sweep.Admissions = append(sweep.Admissions, adm)
+		}
+	}
 
 	if *baseline != "" && *compare != "" {
 		fatal(fmt.Errorf("-baseline and -compare are mutually exclusive"))
 	}
-	if *baseline != "" || *compare != "" || *latency {
-		// Baselines (and the latency sweep) are only comparable across PRs
-		// when they are always recorded at the one fixed configuration, so
-		// reject any other configuration flag rather than silently ignoring
-		// it. -j and -v are allowed: they do not change virtual results.
+	if *baseline != "" || *compare != "" || *latency || *overload {
+		// Baselines (and the latency/overload sweeps) are only comparable
+		// across PRs when they are always recorded at the one fixed
+		// configuration, so reject any other configuration flag rather than
+		// silently ignoring it. -j and -v are allowed: they do not change
+		// virtual results. The overload knobs are allowed only for a custom
+		// print-mode sweep, never for its baseline.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "baseline", "compare", "latency", "v", "j":
+			case "baseline", "compare", "latency", "overload", "v", "j":
+			case "loads", "admission", "fault-seed":
+				if *baseline != "" || *compare != "" {
+					fatal(fmt.Errorf("-baseline/-compare use the fixed overload sweep; remove -%s", f.Name))
+				}
 			default:
-				fatal(fmt.Errorf("-baseline/-compare/-latency use a fixed configuration; remove -%s", f.Name))
+				fatal(fmt.Errorf("-baseline/-compare/-latency/-overload use a fixed configuration; remove -%s", f.Name))
 			}
 		})
 		var progress func(string)
@@ -101,6 +154,12 @@ func main() {
 		}
 		var err error
 		switch {
+		case *overload && *baseline != "":
+			err = writeOverloadBaseline(*baseline, *workers, progress)
+		case *overload && *compare != "":
+			err = compareOverloadBaseline(*compare, *workers, progress)
+		case *overload:
+			fmt.Println(bench.RenderOverload(bench.MeasureOverload(sweep, *workers, progress)))
 		case *latency && *baseline != "":
 			err = writeLatencyBaseline(*baseline, *workers, progress)
 		case *latency && *compare != "":
@@ -179,246 +238,4 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gcbench:", err)
 	os.Exit(1)
-}
-
-// --- Baseline recording and comparison -------------------------------------
-
-// BaselinePoint is one benchmark/policy/thread-count measurement. VirtualMs
-// is the simulation result (deterministic: it must stay bit-identical across
-// engine changes); WallNs is the host wall-clock per run (machine-dependent:
-// the perf trajectory later PRs compare against). With -j > 1, concurrent
-// points share host cores, which inflates per-point WallNs; committed
-// baselines are recorded with -j 1 so wall numbers stay comparable.
-type BaselinePoint struct {
-	Figure    int     `json:"figure"`
-	Benchmark string  `json:"benchmark"`
-	Policy    string  `json:"policy"`
-	Threads   int     `json:"threads"`
-	VirtualMs float64 `json:"virtual_ms"`
-	WallNs    int64   `json:"wall_ns"`
-}
-
-// Baseline is the on-disk format of BENCH_v*.json.
-type Baseline struct {
-	Version   int             `json:"version"`
-	Scale     float64         `json:"scale"`
-	GoVersion string          `json:"go_version"`
-	Date      string          `json:"date"`
-	Points    []BaselinePoint `json:"points"`
-}
-
-// baselineScale matches the benchScale used by `go test -bench .` so the
-// virtual-ms values in the baseline line up with the benchmark output.
-const baselineScale = 0.25
-
-// baselineThreads are the fixed per-figure thread counts of the baseline.
-var baselineThreads = []int{1, 24, 48}
-
-// measureBaseline runs the fixed Figure 5-7 suite at p=1/24/48 on a worker
-// pool and returns the points in deterministic order.
-func measureBaseline(workers int) ([]BaselinePoint, error) {
-	figures := []struct {
-		id     int
-		policy mempage.Policy
-	}{
-		{5, mempage.PolicyLocal},
-		{6, mempage.PolicyInterleaved},
-		{7, mempage.PolicySingleNode},
-	}
-	var pts []BaselinePoint
-	for _, fig := range figures {
-		for _, name := range bench.FigureBenchmarks {
-			if _, err := workload.ByName(name); err != nil {
-				return nil, err
-			}
-			for _, p := range baselineThreads {
-				pts = append(pts, BaselinePoint{
-					Figure:    fig.id,
-					Benchmark: name,
-					Policy:    fig.policy.String(),
-					Threads:   p,
-				})
-			}
-		}
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			topo := numa.AMD48()
-			for i := range jobs {
-				pt := &pts[i]
-				pol, err := mempage.ParsePolicy(pt.Policy)
-				if err != nil {
-					panic(err)
-				}
-				spec, err := workload.ByName(pt.Benchmark)
-				if err != nil {
-					panic(err)
-				}
-				cfg := core.DefaultConfig(topo, pt.Threads)
-				cfg.Policy = pol
-				rt := core.MustNewRuntime(cfg)
-				start := time.Now()
-				res := spec.Run(rt, baselineScale)
-				pt.WallNs = time.Since(start).Nanoseconds()
-				pt.VirtualMs = float64(res.ElapsedNs) / 1e6
-				fmt.Fprintf(os.Stderr, "figure %d %s %s p=%d: %.4f virtual-ms, %s wall\n",
-					pt.Figure, pt.Benchmark, pt.Policy, pt.Threads, pt.VirtualMs, time.Duration(pt.WallNs))
-			}
-		}()
-	}
-	for i := range pts {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return pts, nil
-}
-
-// writeBaseline measures the fixed suite and writes the JSON baseline.
-func writeBaseline(path string, workers int) error {
-	pts, err := measureBaseline(workers)
-	if err != nil {
-		return err
-	}
-	out := Baseline{
-		Version:   3,
-		Scale:     baselineScale,
-		GoVersion: runtime.Version(),
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		Points:    pts,
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// compareBaseline re-measures the fixed suite and fails on any virtual_ms
-// drift against the stored baseline. Wall times are machine-dependent and
-// are not compared. This is the CI gate that pins the simulation's
-// virtual-time results across optimisation PRs.
-func compareBaseline(path string, workers int) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var want Baseline
-	if err := json.Unmarshal(data, &want); err != nil {
-		return fmt.Errorf("parse %s: %w", path, err)
-	}
-	if want.Scale != baselineScale {
-		return fmt.Errorf("%s records scale %g; this binary measures scale %g", path, want.Scale, baselineScale)
-	}
-	got, err := measureBaseline(workers)
-	if err != nil {
-		return err
-	}
-	key := func(p BaselinePoint) string {
-		return fmt.Sprintf("figure %d %s %s p=%d", p.Figure, p.Benchmark, p.Policy, p.Threads)
-	}
-	wantMs := make(map[string]float64, len(want.Points))
-	for _, p := range want.Points {
-		wantMs[key(p)] = p.VirtualMs
-	}
-	drift := 0
-	for _, p := range got {
-		w, ok := wantMs[key(p)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "gcbench: %s missing from %s\n", key(p), path)
-			drift++
-			continue
-		}
-		if w != p.VirtualMs {
-			fmt.Fprintf(os.Stderr, "gcbench: %s drifted: baseline %.6f virtual-ms, got %.6f\n", key(p), w, p.VirtualMs)
-			drift++
-		}
-	}
-	if len(got) != len(want.Points) {
-		fmt.Fprintf(os.Stderr, "gcbench: point count differs: baseline %d, got %d\n", len(want.Points), len(got))
-		drift++
-	}
-	if drift > 0 {
-		return fmt.Errorf("%d baseline point(s) drifted vs %s", drift, path)
-	}
-	fmt.Printf("gcbench: all %d virtual-time points match %s\n", len(got), path)
-	return nil
-}
-
-// --- Latency baseline (LATENCY_v1.json) -------------------------------------
-
-// LatencyBaseline is the on-disk format of LATENCY_v*.json: the open-loop
-// latency sweep's percentile and pause-attribution results. Every field of
-// every point except wall_ns is a deterministic virtual result and is
-// compared exactly.
-type LatencyBaseline struct {
-	Version   int                  `json:"version"`
-	GoVersion string               `json:"go_version"`
-	Date      string               `json:"date"`
-	Points    []bench.LatencyPoint `json:"points"`
-}
-
-// writeLatencyBaseline measures the fixed latency sweep and writes the JSON
-// baseline.
-func writeLatencyBaseline(path string, workers int, progress func(string)) error {
-	pts := bench.MeasureLatency(workers, progress)
-	out := LatencyBaseline{
-		Version:   1,
-		GoVersion: runtime.Version(),
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		Points:    pts,
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// compareLatencyBaseline re-measures the fixed latency sweep and fails on
-// any drift in the virtual fields (percentiles, attribution, checksums)
-// against the stored baseline — the latency twin of compareBaseline.
-func compareLatencyBaseline(path string, workers int, progress func(string)) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var want LatencyBaseline
-	if err := json.Unmarshal(data, &want); err != nil {
-		return fmt.Errorf("parse %s: %w", path, err)
-	}
-	got := bench.MeasureLatency(workers, progress)
-	wantPts := make(map[string]bench.LatencyPoint, len(want.Points))
-	for _, p := range want.Points {
-		wantPts[p.Key()] = p
-	}
-	drift := 0
-	for _, p := range got {
-		w, ok := wantPts[p.Key()]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "gcbench: %s missing from %s\n", p.Key(), path)
-			drift++
-			continue
-		}
-		if !p.VirtualEq(w) {
-			fmt.Fprintf(os.Stderr, "gcbench: %s drifted:\n  baseline %+v\n  got      %+v\n", p.Key(), w, p)
-			drift++
-		}
-	}
-	if len(got) != len(want.Points) {
-		fmt.Fprintf(os.Stderr, "gcbench: point count differs: baseline %d, got %d\n", len(want.Points), len(got))
-		drift++
-	}
-	if drift > 0 {
-		return fmt.Errorf("%d latency point(s) drifted vs %s", drift, path)
-	}
-	fmt.Printf("gcbench: all %d latency points match %s\n", len(got), path)
-	return nil
 }

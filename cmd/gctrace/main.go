@@ -4,7 +4,9 @@
 // open-loop traffic harness at one sweep-style configuration and prints the
 // latency percentiles with the per-request GC-pause attribution breakdown —
 // which collection phases overlapped the request lifetimes in each latency
-// band.
+// band. With -overload it runs the overload harness at one offered load and
+// admission policy (optionally with a seeded fault plan) and prints the
+// goodput/SLO and shed/retry accounting behind one gcbench -overload point.
 //
 // Usage:
 //
@@ -12,6 +14,8 @@
 //	gctrace -bench synthetic -events          # print every GC event
 //	gctrace -latency                          # tail latency under GC, attribution table
 //	gctrace -latency -gap 100000 -policy single-node
+//	gctrace -overload -p 16 -gap 80000 -admission deadline
+//	gctrace -overload -p 16 -gap 40000 -admission queue -fault-seed 0xfa115afe
 package main
 
 import (
@@ -36,7 +40,10 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "workload scale")
 		events    = flag.Bool("events", false, "print every GC event")
 		latency   = flag.Bool("latency", false, "run the open-loop latency harness (GC-pressure heap shape) and print the pause-attribution breakdown")
-		gap       = flag.Int64("gap", 400_000, "with -latency: mean per-client inter-arrival gap in virtual ns (offered load)")
+		overload  = flag.Bool("overload", false, "run the overload harness (GC-pressure heap shape) and print the goodput/SLO and shed/retry accounting")
+		gap       = flag.Int64("gap", 400_000, "with -latency/-overload: mean per-client inter-arrival gap in virtual ns (offered load)")
+		admission = flag.String("admission", "deadline", "with -overload: admission policy (none, queue, deadline)")
+		faultSeed = flag.Uint64("fault-seed", 0, "with -overload: seed a fault plan of vproc stalls and allocation bursts (0 = no faults)")
 	)
 	flag.Parse()
 
@@ -50,7 +57,8 @@ func main() {
 	}
 	// Validate flags up front with actionable errors: a bad scale would
 	// otherwise be silently clamped into a scale-1 run that looks like a
-	// real result, and a bad -p would panic deep inside Config.normalize.
+	// real result, a bad -p would panic deep inside Config.normalize, and a
+	// bad admission name must fail here, not half-run first.
 	if !(*scale > 0) || math.IsInf(*scale, 0) {
 		fatal(fmt.Errorf("-scale %v is not a positive workload scale", *scale))
 	}
@@ -60,15 +68,30 @@ func main() {
 	if *gap < 2 {
 		fatal(fmt.Errorf("-gap %d is not a usable inter-arrival gap (need >= 2 ns)", *gap))
 	}
+	if *latency && *overload {
+		fatal(fmt.Errorf("-latency and -overload are mutually exclusive harnesses"))
+	}
+	adm, err := workload.ParseAdmission(*admission)
+	if err != nil {
+		fatal(err)
+	}
 	// Reject flag combinations that would otherwise be silently ignored:
-	// the latency harness has a fixed workload shape (-bench/-scale do
-	// nothing under it), and -gap only means anything to the harness.
+	// the traffic harnesses have fixed workload shapes (-bench/-scale do
+	// nothing under them), -gap only means anything to a harness, and the
+	// admission/fault knobs only mean anything to the overload harness.
+	harness := *latency || *overload
+	harnessName := "-latency"
+	if *overload {
+		harnessName = "-overload"
+	}
 	flag.Visit(func(f *flag.Flag) {
 		switch {
-		case *latency && (f.Name == "bench" || f.Name == "scale"):
-			fatal(fmt.Errorf("-latency runs the fixed open-loop harness; remove -%s (use -gap for load)", f.Name))
-		case !*latency && f.Name == "gap":
-			fatal(fmt.Errorf("-gap only applies to the -latency harness"))
+		case harness && (f.Name == "bench" || f.Name == "scale"):
+			fatal(fmt.Errorf("%s runs a fixed traffic workload; remove -%s (use -gap for load)", harnessName, f.Name))
+		case !harness && f.Name == "gap":
+			fatal(fmt.Errorf("-gap only applies to the -latency/-overload harnesses"))
+		case !*overload && (f.Name == "admission" || f.Name == "fault-seed"):
+			fatal(fmt.Errorf("-%s only applies to the -overload harness", f.Name))
 		}
 	})
 	spec, err := workload.ByName(*benchName)
@@ -77,9 +100,10 @@ func main() {
 	}
 
 	var cfg core.Config
-	if *latency {
-		// Mirror the gcbench -latency sweep's GC-pressure configuration so
-		// the attribution printed here corresponds to the baseline points.
+	if harness {
+		// Mirror the gcbench -latency/-overload sweeps' GC-pressure
+		// configuration so the numbers printed here correspond to the
+		// baseline points.
 		cfg = bench.LatencyConfig(topo, pol, *vprocs)
 	} else {
 		cfg = core.DefaultConfig(topo, *vprocs)
@@ -102,13 +126,25 @@ func main() {
 
 	var res workload.Result
 	var lat workload.LatencyResult
-	if *latency {
+	var ov workload.OverloadResult
+	switch {
+	case *latency:
 		opt := bench.LatencyOptionsFor(*gap)
 		lat = workload.RunLatency(rt, opt)
 		res = lat.Result
 		fmt.Printf("open-loop latency harness on %s, policy %s, %d vprocs, %d clients x %d requests, mean gap %d ns\n",
 			topo.Name, pol, *vprocs, opt.Clients, opt.Requests, *gap)
-	} else {
+	case *overload:
+		opt := bench.OverloadOptionsFor(*gap)
+		opt.Admission = adm
+		if *faultSeed != 0 {
+			opt.Faults = bench.OverloadFaultPlan(*faultSeed, *vprocs)
+		}
+		ov = workload.RunOverload(rt, opt)
+		res = ov.Result
+		fmt.Printf("overload harness on %s, policy %s, %d vprocs, %d clients x %d requests, mean gap %d ns, admission %s, SLO %d ns\n",
+			topo.Name, pol, *vprocs, opt.Clients, opt.Requests, *gap, adm, opt.SLONs)
+	default:
 		res = spec.Run(rt, *scale)
 		fmt.Printf("benchmark %s on %s, policy %s, %d vprocs, scale %.2f\n",
 			spec.Name, topo.Name, pol, *vprocs, *scale)
@@ -151,6 +187,28 @@ func main() {
 		band(">=p99.9", lat.Tail)
 		fmt.Printf("  (%d global collections overlapped tail-request lifetimes; largest single overlap %.1f us)\n",
 			lat.Tail.GlobalGCs, us(lat.Tail.Global.MaxNs))
+	}
+
+	if *overload {
+		us := func(v int64) float64 { return float64(v) / 1e3 }
+		offered := float64(ov.Offered) / float64(ov.WindowNs) * 1e3
+		goodput := float64(ov.GoodSLO) / float64(res.ElapsedNs) * 1e3
+		fmt.Printf("\noverload accounting (every offered request resolves exactly once):\n")
+		fmt.Printf("  offered   %6d requests over a %.1f us arrival window (%.2f/us)\n",
+			ov.Offered, us(ov.WindowNs), offered)
+		fmt.Printf("  completed %6d (%d within the SLO; goodput %.2f/us, SLO attainment %.0f%%)\n",
+			ov.Completed, ov.GoodSLO, goodput, float64(ov.GoodSLO)/float64(ov.Offered)*100)
+		fmt.Printf("  expired   %6d (nacked server-side: deadline unmeetable)\n", ov.Expired)
+		fmt.Printf("  shed      %6d at admission (retry budget exhausted), %d to fault closes\n",
+			ov.ShedAdmission, ov.ShedFault)
+		fmt.Printf("  retries   %6d re-attempts after a full lane (%d lane sheds total)\n",
+			ov.Retries, s.ChanSheds)
+		fmt.Printf("  latency   p50 %.1f us   p99 %.1f us (completed requests, from scheduled arrival)\n",
+			us(ov.P50), us(ov.P99))
+		if *faultSeed != 0 {
+			fmt.Printf("  faults    %d injected: %.1f us stalled, %d words burst-allocated (seed %#x)\n",
+				s.FaultsInjected, us(s.FaultStallNs), s.FaultBurstWords, *faultSeed)
+		}
 	}
 
 	fmt.Println("\nruntime totals:")

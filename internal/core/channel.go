@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/heap"
 	"repro/internal/numa"
+	"repro/internal/vtime"
 )
 
 // CML-style channels (§2.1: "language-level visible threads and synchronous
@@ -64,6 +65,38 @@ type Channel struct {
 	// waiters is the FIFO ring of parked receivers (blocking waiters and
 	// parked continuations). Entries hold no heap addresses.
 	waiters rendezvousRing
+	// closed is set by Close and never cleared: every later operation
+	// observes the close as a status (SendClosed, a nil receive) instead of
+	// resurrecting the record.
+	closed bool
+}
+
+// SendStatus is the outcome of a channel send — the recoverable-failure
+// contract that lets overload-control code shed load instead of crashing.
+type SendStatus int
+
+const (
+	// SendOK: the message was handed to a parked receiver or enqueued.
+	SendOK SendStatus = iota
+	// SendFull: TrySend on a bounded channel at capacity — the message was
+	// shed (its proxy dropped) rather than waiting for a free slot.
+	SendFull
+	// SendClosed: the channel was closed, possibly while the send was in
+	// flight — the message was dropped.
+	SendClosed
+)
+
+// String names the status for diagnostics.
+func (s SendStatus) String() string {
+	switch s {
+	case SendOK:
+		return "ok"
+	case SendFull:
+		return "full"
+	case SendClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("SendStatus(%d)", int(s))
 }
 
 // NewChannel creates an unbounded channel (CML acceptor-queue style).
@@ -93,6 +126,9 @@ func (rt *Runtime) channelDesc() uint16 {
 func (ch *Channel) record(vp *VProc) heap.Addr {
 	if vp.rt != ch.rt {
 		panic("core: channel used with a vproc of a different runtime")
+	}
+	if ch.closed {
+		panic("core: record of a closed channel (callers must check closed first)")
 	}
 	if ch.addr == 0 {
 		rt := ch.rt
@@ -126,22 +162,33 @@ func (ch *Channel) Len() int {
 // Cap reports the capacity bound (0 = unbounded).
 func (ch *Channel) Cap() int { return ch.cap }
 
-// Close releases the channel's heap record: the global-root registration is
-// removed and the pending chain's message proxies are deregistered from
-// their senders, so the record, the chain, the proxies, and any unreceived
-// payloads become garbage for the collections that follow. Without Close,
-// every channel ever created stays live forever (dynamically created
-// channels — e.g. one reply channel per request — would grow the root set
-// and the global heap without bound). Closing a channel with parked
-// receivers is a programming error (they would never be woken) and panics;
-// a closed channel may be reused, starting empty.
+// Close closes the channel and releases its heap record: the global-root
+// registration is removed and the pending chain's message proxies are
+// deregistered from their senders, so the record, the chain, the proxies,
+// and any unreceived payloads become garbage for the collections that
+// follow. Without Close, every channel ever created stays live forever
+// (dynamically created channels — e.g. one reply channel per request —
+// would grow the root set and the global heap without bound).
+//
+// Close is permanent and observable as a *status*, never a crash: every
+// parked receiver — blocking waiter or parked continuation — is woken with a
+// nil message (Recv returns 0, RecvThen/SelectThen callbacks run with msg ==
+// 0), later receives return nil immediately, and sends (including sends
+// already in flight when the close lands, e.g. from a fault plan) report
+// SendClosed and drop their message. Unreceived pending messages are
+// discarded.
 func (ch *Channel) Close() {
-	// peekLive discards stale (already claimed elsewhere) registrations but
-	// leaves a live one in place: a caller that recovers from the panic
-	// must observe the waiter still parked and wakeable — a destructive
-	// probe here would silently unregister a live receiver, stranding it.
-	if _, ok := ch.waiters.peekLive(); ok {
-		panic("core: Close of a channel with parked receivers")
+	ch.closed = true
+	// Wake every parked receiver with the close status. A rendezvous also
+	// registered elsewhere (Select over several channels, or a pending
+	// timeout) is claimed here exactly like a delivery would, retiring its
+	// timer; stale already-claimed ring entries are discarded by pop.
+	for {
+		r, which, ok := ch.waiters.pop()
+		if !ok {
+			break
+		}
+		ch.closeDeliver(r, which)
 	}
 	if ch.addr == 0 {
 		return
@@ -166,6 +213,29 @@ func (ch *Channel) Close() {
 	ch.addr = 0
 }
 
+// closeDeliver wakes one parked receiver with the close status: a blocking
+// waiter observes a nil proxy in its root slot; a parked continuation runs
+// with msg == 0. Close is a host-side event with no acting vproc, so nothing
+// is charged — the woken side pays its normal wakeup costs.
+func (ch *Channel) closeDeliver(r *rendezvous, which int) {
+	r.claimed = true
+	r.cancelTimer()
+	if r.fn == nil {
+		r.vp.roots[r.slot] = 0
+		r.which = which
+		r.ready = true
+		return
+	}
+	o := r.owner
+	o.removeParked(r)
+	// The continuation was counted in rt.outstanding when it parked;
+	// queuing the close task transfers that count.
+	o.queue.pushBottom(contTask(o, r.env, 0, which, r.fn))
+}
+
+// Closed reports whether Close has been called.
+func (ch *Channel) Closed() bool { return ch.closed }
+
 // PendingProxies returns the addresses of the pending messages' proxies in
 // FIFO order — a host-side diagnostic for tests and debugging; nothing is
 // charged and no proxy is consumed.
@@ -189,8 +259,30 @@ func (ch *Channel) PendingProxies() []heap.Addr {
 // the channel the proxy is handed to it directly (the rendezvous); otherwise
 // it is enqueued on the heap-resident pending chain. On a bounded channel
 // Send first waits, servicing scheduler obligations, until a slot is free.
-func (ch *Channel) Send(vp *VProc, slot int) {
+// Send never panics on a racing Close: a close landing before or during the
+// send drops the message and reports SendClosed.
+func (ch *Channel) Send(vp *VProc, slot int) SendStatus {
+	return ch.send(vp, slot, false)
+}
+
+// TrySend is the non-blocking, load-shedding form of Send: where Send would
+// wait for a bounded channel's capacity slot, TrySend drops the message and
+// reports SendFull — the admission-control primitive (a full mailbox is the
+// queue-depth signal overload policies act on). On an unbounded channel it
+// is equivalent to Send.
+func (ch *Channel) TrySend(vp *VProc, slot int) SendStatus {
+	return ch.send(vp, slot, true)
+}
+
+// send is the shared body of Send and TrySend. On the SendOK path it is
+// charge-for-charge identical to the historical Send; the closed checks are
+// free host-side observations.
+func (ch *Channel) send(vp *VProc, slot int, try bool) SendStatus {
 	rt := ch.rt
+	if ch.closed {
+		vp.Stats.ChanSheds++
+		return SendClosed
+	}
 	ch.record(vp)
 	// The proxy rides in a root slot for the duration: the bounded-full
 	// wait below services the scheduler, which can participate in a global
@@ -200,15 +292,21 @@ func (ch *Channel) Send(vp *VProc, slot int) {
 	vp.Stats.ChanSends++
 	// Every observe-act pair below is advance-free: the probe charge (and
 	// the queue-node chunk request) may hand control to other vprocs, so
-	// both the parked-receiver check and the capacity check are re-run
-	// after any advance, and the final commit (bump + link + count) is a
-	// single unadvanced segment.
+	// the closed flag, the parked-receiver check, and the capacity check
+	// are re-run after any advance, and the final commit (bump + link +
+	// count) is a single unadvanced segment.
 	for {
 		rec := ch.addr // collections update the registered root in place
-		if rec == 0 {
-			panic("core: Send on a channel closed while the send was in flight")
+		if ch.closed || rec == 0 {
+			return ch.shedInFlight(vp, ps, SendClosed)
 		}
 		vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(rec), 16, numa.AccessMemory))
+		if ch.closed {
+			// Closed during the probe charge: rec is a stale snapshot of
+			// a dead record — committing through it would lose the
+			// message silently.
+			return ch.shedInFlight(vp, ps, SendClosed)
+		}
 		// Hand off to a parked receiver only while the pending chain is
 		// empty: a waiter can coexist with pending messages (a Select
 		// registers before it probes the chains), and handing it the NEW
@@ -220,10 +318,13 @@ func (ch *Channel) Send(vp *VProc, slot int) {
 				proxy := vp.Root(ps)
 				vp.PopRoots(1)
 				ch.deliver(vp, r, which, proxy)
-				return
+				return SendOK
 			}
 		}
 		if ch.cap > 0 && int(rt.Space.Payload(rec)[chanCountSlot]) >= ch.cap {
+			if try {
+				return ch.shedInFlight(vp, ps, SendFull)
+			}
 			// Bounded mailbox full: wait in virtual time, servicing
 			// scheduler obligations (a receiver must be able to run).
 			vp.ServiceScheduler()
@@ -235,8 +336,8 @@ func (ch *Channel) Send(vp *VProc, slot int) {
 		// — re-check everything before committing.
 		dst := rt.globalAllocDst(vp, qnodeSizeWords)
 		rec = ch.addr
-		if rec == 0 {
-			panic("core: Send on a channel closed while the send was in flight")
+		if ch.closed || rec == 0 {
+			return ch.shedInFlight(vp, ps, SendClosed)
 		}
 		p := rt.Space.Payload(rec)
 		if heap.Addr(p[chanHeadSlot]) == 0 {
@@ -245,10 +346,13 @@ func (ch *Channel) Send(vp *VProc, slot int) {
 				proxy := vp.Root(ps)
 				vp.PopRoots(1)
 				ch.deliver(vp, r, which, proxy)
-				return
+				return SendOK
 			}
 		}
 		if ch.cap > 0 && int(p[chanCountSlot]) >= ch.cap {
+			if try {
+				return ch.shedInFlight(vp, ps, SendFull)
+			}
 			continue
 		}
 		// Commit: bump the node and link it, with no advance until the
@@ -273,8 +377,21 @@ func (ch *Channel) Send(vp *VProc, slot int) {
 		vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(nd), (qnodeSizeWords+1)*8, numa.AccessMemory) +
 			rt.Machine.AccessCost(vp.Now(), vp.Core, linkNode, 8, numa.AccessMemory) +
 			rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(rec), 24, numa.AccessMemory))
-		return
+		return SendOK
 	}
+}
+
+// shedInFlight abandons an in-flight send, reporting why: the message proxy
+// riding root slot ps is deregistered from this vproc and the slot popped,
+// so the payload's only send-side retainer disappears and the message
+// becomes ordinary local garbage. ps must be the top root slot (send's
+// invariant at every shed site).
+func (ch *Channel) shedInFlight(vp *VProc, ps int, st SendStatus) SendStatus {
+	proxy := vp.Root(ps)
+	vp.PopRoots(1)
+	vp.dropProxy(proxy)
+	vp.Stats.ChanSheds++
+	return st
 }
 
 // popPending unlinks the head queue node and returns its message proxy; the
@@ -323,7 +440,8 @@ func (ch *Channel) TryRecv(vp *VProc) (heap.Addr, bool) {
 // directly to the parked slot (the rendezvous) instead of touching the
 // pending chain. While parked the vproc services its scheduler obligations
 // (pending tasks, steals, global collections), so channel waits cannot
-// stall the stop-the-world protocol.
+// stall the stop-the-world protocol. On a closed channel — or if the
+// channel closes during the wait — Recv returns 0.
 //
 // The wait runs queued tasks, so a Recv whose message can only be produced
 // by a task *below it on this vproc's own stack* cannot complete; deep
@@ -332,6 +450,9 @@ func (ch *Channel) TryRecv(vp *VProc) (heap.Addr, bool) {
 func (ch *Channel) Recv(vp *VProc) heap.Addr {
 	if a, ok := ch.TryRecv(vp); ok {
 		return a
+	}
+	if ch.closed {
+		return 0
 	}
 	// Park: the root slot receives the proxy; collections of this vproc
 	// keep the slot current while we wait.
@@ -343,6 +464,9 @@ func (ch *Channel) Recv(vp *VProc) heap.Addr {
 	}
 	proxy := vp.roots[slot]
 	vp.PopRoots(1)
+	if proxy == 0 {
+		return 0 // the channel closed while we were parked
+	}
 	vp.Stats.ChanRecvs++
 	return vp.consumeProxy(proxy)
 }
@@ -351,8 +475,9 @@ func (ch *Channel) Recv(vp *VProc) heap.Addr {
 // returning the channel's index and the resolved message. Pending messages
 // are taken in argument order; otherwise the vproc parks one rendezvous on
 // every channel and the first Send claims it (stale registrations are
-// skipped lazily by later sends). The same stack-nesting caveat as Recv
-// applies; SelectThen is the continuation form.
+// skipped lazily by later sends). A closed channel delivers immediately:
+// Select returns its index and a nil message. The same stack-nesting caveat
+// as Recv applies; SelectThen is the continuation form.
 func (vp *VProc) Select(chans ...*Channel) (int, heap.Addr) {
 	if len(chans) == 0 {
 		panic("core: Select over no channels")
@@ -370,13 +495,20 @@ func (vp *VProc) Select(chans ...*Channel) (int, heap.Addr) {
 		ch.waiters.push(r, i)
 	}
 	for i, ch := range chans {
+		if ch.closed {
+			// Observe the close as an immediate nil delivery (claimed
+			// advance-free, like a pending-message claim).
+			r.claimed = true
+			vp.PopRoots(1)
+			return i, 0
+		}
 		if ch.addr == 0 {
 			continue
 		}
 		rec := ch.record(vp)
 		vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(rec), 16, numa.AccessMemory))
 		if r.ready {
-			break // a sender delivered during the probe charge
+			break // a sender delivered (or a close landed) during the probe charge
 		}
 		head := heap.Addr(rt.Space.Payload(rec)[chanHeadSlot])
 		if head == 0 {
@@ -397,6 +529,9 @@ func (vp *VProc) Select(chans ...*Channel) (int, heap.Addr) {
 	proxy := vp.roots[slot]
 	which := r.which
 	vp.PopRoots(1)
+	if proxy == 0 {
+		return which, 0 // woken by a close
+	}
 	vp.Stats.ChanRecvs++
 	return which, vp.consumeProxy(proxy)
 }
@@ -446,6 +581,15 @@ func (vp *VProc) SelectThen(chans []*Channel, env []heap.Addr, fn func(vp *VProc
 func (vp *VProc) selectProbe(chans []*Channel, r *rendezvous) {
 	rt := vp.rt
 	for i, ch := range chans {
+		if ch.closed {
+			// Observe the close immediately: the continuation runs with a
+			// nil message, exactly as if the close had found it parked.
+			r.claimed = true
+			r.cancelTimer()
+			vp.removeParked(r)
+			vp.queue.pushBottom(contTask(vp, r.env, 0, i, r.fn))
+			return
+		}
 		if ch.addr == 0 {
 			continue
 		}
@@ -474,8 +618,11 @@ func contTask(owner *VProc, env []heap.Addr, proxy heap.Addr, which int, fn func
 	copy(tenv, env)
 	tenv[len(env)] = proxy
 	return &Task{owner: owner.ID, env: tenv, Fn: func(vp *VProc, e Env) {
-		msg := vp.consumeProxy(e.Get(vp, e.n-1))
-		vp.Stats.ChanRecvs++
+		var msg heap.Addr
+		if pa := e.Get(vp, e.n-1); pa != 0 {
+			msg = vp.consumeProxy(pa)
+			vp.Stats.ChanRecvs++
+		}
 		fn(vp, Env{base: e.base, n: e.n - 1}, which, msg)
 	}}
 }
@@ -487,6 +634,9 @@ func contTask(owner *VProc, env []heap.Addr, proxy heap.Addr, which int, fn func
 // subsequent collections. The cross-vproc path (ProxyDeref) already
 // deregisters on promotion; this handles the same-vproc case.
 func (vp *VProc) consumeProxy(proxy heap.Addr) heap.Addr {
+	if proxy == 0 {
+		return 0 // close-status wakeup: no message, nothing to consume
+	}
 	rt := vp.rt
 	proxy = vp.resolve(proxy)
 	p := rt.Space.Payload(proxy)
@@ -507,6 +657,7 @@ func (vp *VProc) consumeProxy(proxy heap.Addr) heap.Addr {
 // charged as one vproc signal.
 func (ch *Channel) deliver(vp *VProc, r *rendezvous, which int, proxy heap.Addr) {
 	r.claimed = true
+	r.cancelTimer()
 	if r.fn == nil {
 		r.vp.roots[r.slot] = proxy
 		r.which = which
@@ -542,6 +693,22 @@ type rendezvous struct {
 	owner *VProc
 	env   []heap.Addr
 	fn    func(vp *VProc, env Env, which int, msg heap.Addr)
+
+	// timer is the timeout armed beside this rendezvous, if any
+	// (SelectThenTimeout/RecvThenTimeout): retired when the rendezvous is
+	// claimed by a delivery or a close, so the stale deadline neither clamps
+	// idle charges nor lingers in the owner's queue.
+	timer *vtime.Timer
+}
+
+// cancelTimer retires the timeout armed beside this rendezvous, if any. Safe
+// on the timer's own fire path: fireDueTimers clears r.timer before running
+// the timeout, and Remove of an already-popped entry is a no-op regardless.
+func (r *rendezvous) cancelTimer() {
+	if r.timer != nil {
+		r.owner.timers.Remove(r.timer)
+		r.timer = nil
+	}
 }
 
 // removeParked unregisters a delivered continuation, preserving the order of

@@ -449,20 +449,31 @@ func TestChannelCloseReleasesRecord(t *testing.T) {
 			vp.PopRoots(1)
 			churn(vp, 500, 6)
 		}
-		// Reuse after Close: a fresh, empty record.
+		// Close is permanent: later operations observe it as a status, and
+		// nothing resurrects the released record.
 		ch := rt.NewChannel()
 		ch.Close()
+		if !ch.Closed() {
+			t.Error("Closed() false after Close")
+		}
 		if _, ok := ch.TryRecv(vp); ok {
 			t.Error("closed channel should be empty")
 		}
+		if got := ch.Recv(vp); got != 0 {
+			t.Errorf("Recv on closed channel = %#x, want 0", got)
+		}
 		m := vp.AllocRaw([]uint64{99})
 		s := vp.PushRoot(m)
-		ch.Send(vp, s)
-		vp.PopRoots(1)
-		if got, ok := ch.TryRecv(vp); !ok || vp.LoadWord(got, 0) != 99 {
-			t.Error("reused channel lost its message")
+		if st := ch.Send(vp, s); st != SendClosed {
+			t.Errorf("Send on closed channel = %v, want closed", st)
 		}
-		ch.Close()
+		vp.PopRoots(1)
+		if got := len(vp.proxies); got != 0 {
+			t.Errorf("shed send left %d proxies registered", got)
+		}
+		if ch.addr != 0 {
+			t.Error("closed channel re-acquired a heap record")
+		}
 	})
 	if rt.Stats.GlobalGCs == 0 {
 		t.Fatal("test did not force a global collection")
@@ -559,49 +570,175 @@ func TestCloseDropsPendingProxies(t *testing.T) {
 	}
 }
 
-// TestClosePanicLeavesWaiterParked is the regression test for Close's
-// destructive waiter probe: the panic path used to *pop* the live
-// registration off the rendezvous ring before panicking, so a caller that
-// recovered observed a ring silently missing one live waiter — the next
-// Send would enqueue instead of waking the parked receiver, stranding it
-// forever. Close must peek, not pop: after recovering, the waiter is still
-// parked and the next Send still hands off to it.
-func TestClosePanicLeavesWaiterParked(t *testing.T) {
+// TestCloseWakesParkedWaiter: Close with a parked blocking receiver is no
+// longer a crash — the waiter wakes with a nil message (Recv returns 0),
+// and later sends observe SendClosed instead of stranding or panicking.
+func TestCloseWakesParkedWaiter(t *testing.T) {
 	rt := MustNewRuntime(stressConfig(2))
 	ch := rt.NewChannel()
-	var got uint64
-	var panicked, handedOff bool
+	got := heap.Addr(0xdead)
 	rt.Run(func(vp *VProc) {
 		recv := vp.Spawn(func(rvp *VProc, _ Env) {
-			m := ch.Recv(rvp)
-			got = rvp.LoadWord(m, 0)
+			got = ch.Recv(rvp)
 		})
 		vp.Compute(1_000_000) // let vproc 1 steal the receiver and park
 
-		func() {
-			defer func() {
-				panicked = recover() != nil
-			}()
-			ch.Close()
-		}()
+		ch.Close()
 
-		// The recovered close must not have unregistered the waiter: this
-		// send still rendezvouses directly with the parked receiver.
+		// The close woke the waiter; this send sheds instead of handing off.
 		m := vp.AllocRaw([]uint64{55})
 		s := vp.PushRoot(m)
-		ch.Send(vp, s)
-		handedOff = vp.Stats.ChanHandoffs > 0
+		if st := ch.Send(vp, s); st != SendClosed {
+			t.Errorf("Send after Close = %v, want closed", st)
+		}
 		vp.PopRoots(1)
 		vp.Join(recv)
 	})
-	if !panicked {
-		t.Fatal("Close with a parked receiver must panic")
+	if got != 0 {
+		t.Errorf("parked receiver got %#x, want 0 (close status)", got)
 	}
-	if got != 55 {
-		t.Errorf("parked receiver got %d, want 55 — Close unregistered a live waiter", got)
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
 	}
-	if !handedOff {
-		t.Error("send after a recovered Close should still be a direct handoff")
+}
+
+// TestCloseWakesParkedContinuation: a parked RecvThen continuation runs with
+// msg == 0 when the channel closes, and the runtime still quiesces (the
+// outstanding count transfers to the close task).
+func TestCloseWakesParkedContinuation(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	ch := rt.NewChannel()
+	ran, sawNil := false, false
+	rt.Run(func(vp *VProc) {
+		ch.RecvThen(vp, nil, func(vp *VProc, _ Env, msg heap.Addr) {
+			ran = true
+			sawNil = msg == 0
+		})
+		vp.Compute(10_000)
+		ch.Close()
+	})
+	if !ran {
+		t.Fatal("parked continuation never ran after Close")
+	}
+	if !sawNil {
+		t.Error("continuation saw a non-nil message from a closed channel")
+	}
+}
+
+// TestTrySendShedsWhenFull: TrySend on a full mailbox reports SendFull
+// without blocking, drops the message proxy, and leaves the pending chain
+// intact; after draining one slot it succeeds again.
+func TestTrySendShedsWhenFull(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	mb := rt.NewMailbox(2)
+	rt.Run(func(vp *VProc) {
+		for i := 0; i < 2; i++ {
+			m := vp.AllocRaw([]uint64{uint64(i)})
+			s := vp.PushRoot(m)
+			if st := mb.TrySend(vp, s); st != SendOK {
+				t.Fatalf("TrySend %d = %v, want ok", i, st)
+			}
+			vp.PopRoots(1)
+		}
+		m := vp.AllocRaw([]uint64{99})
+		s := vp.PushRoot(m)
+		if st := mb.TrySend(vp, s); st != SendFull {
+			t.Errorf("TrySend on full mailbox = %v, want full", st)
+		}
+		vp.PopRoots(1)
+		if got := vp.Stats.ChanSheds; got != 1 {
+			t.Errorf("ChanSheds = %d, want 1", got)
+		}
+		if got := mb.Len(); got != 2 {
+			t.Errorf("pending = %d after shed, want 2", got)
+		}
+		if got, ok := mb.TryRecv(vp); !ok || vp.LoadWord(got, 0) != 0 {
+			t.Fatal("drain lost the FIFO head")
+		}
+		m = vp.AllocRaw([]uint64{3})
+		s = vp.PushRoot(m)
+		if st := mb.TrySend(vp, s); st != SendOK {
+			t.Errorf("TrySend after drain = %v, want ok", st)
+		}
+		vp.PopRoots(1)
+	})
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}
+
+// TestCloseUnderLoad is the close-under-load regression test: receivers
+// parked via RecvThen, senders mid-flight on bounded mailboxes, and GC
+// pressure churning, while a fault-plan close lands at a chosen instant.
+// Every send outcome must be a status (never a panic), every continuation
+// must run (quiescence), and the books must balance: sends = deliveries +
+// sheds.
+func TestCloseUnderLoad(t *testing.T) {
+	cfg := stressConfig(4)
+	cfg.GlobalTriggerWords = 4 * cfg.ChunkWords
+	rt := MustNewRuntime(cfg)
+	lane := rt.NewMailbox(2)
+	var delivered, closedNil int64
+	var okSends, fullSends, closedSends int64
+	rt.Run(func(vp *VProc) {
+		// Park a pool of continuation receivers.
+		for i := 0; i < 8; i++ {
+			lane.RecvThen(vp, nil, func(vp *VProc, _ Env, msg heap.Addr) {
+				if msg == 0 {
+					closedNil++
+				} else {
+					delivered++
+				}
+			})
+		}
+		// Senders on every vproc, racing the close.
+		for i := 0; i < 16; i++ {
+			vp.Spawn(func(svp *VProc, _ Env) {
+				for j := 0; j < 4; j++ {
+					m := svp.AllocRaw([]uint64{uint64(j)})
+					s := svp.PushRoot(m)
+					switch lane.TrySend(svp, s) {
+					case SendOK:
+						okSends++
+					case SendFull:
+						fullSends++
+					case SendClosed:
+						closedSends++
+					}
+					svp.PopRoots(1)
+					churn(svp, 100, 5)
+				}
+			})
+		}
+		// The close lands mid-traffic via the fault plan (the workload's
+		// natural makespan is ~24us; 8us is mid-flight).
+		p := (&FaultPlan{}).CloseAt(0, 8_000, lane)
+		rt.InstallFaults(p)
+	})
+	total := rt.TotalStats()
+	if delivered+closedNil != 8 {
+		t.Errorf("continuations ran %d+%d times, want 8", delivered, closedNil)
+	}
+	if okSends+fullSends+closedSends != 64 {
+		t.Errorf("send statuses %d+%d+%d, want 64 total", okSends, fullSends, closedSends)
+	}
+	if total.ChanSheds != fullSends+closedSends {
+		t.Errorf("ChanSheds = %d, want %d (full %d + closed %d)",
+			total.ChanSheds, fullSends+closedSends, fullSends, closedSends)
+	}
+	// Every OK send was either handed to a continuation or discarded with
+	// the pending chain at close time — never lost while the lane was open.
+	if delivered > okSends {
+		t.Errorf("delivered %d messages from %d successful sends", delivered, okSends)
+	}
+	if closedSends == 0 {
+		t.Error("no send observed the close; move the close earlier")
+	}
+	if !lane.Closed() {
+		t.Error("fault-plan close never fired")
+	}
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
 	}
 }
 

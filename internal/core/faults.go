@@ -1,0 +1,195 @@
+package core
+
+import "fmt"
+
+// Deterministic fault injection. A FaultPlan schedules vproc stalls
+// ("slow node" pauses), heap-pressure spikes (forced allocation bursts),
+// and channel closes at chosen virtual instants, composable with any
+// workload: the plan rides the per-vproc timer queues, so events fire with
+// the same exactness guarantees as timer continuations and two runs with
+// the same plan produce bit-identical schedules.
+//
+// Execution discipline: a due FaultEvent is *deferred*, never run from
+// fireDueTimers — the pop site can be inside an engine step function
+// (sweep, SleepUntil) where advancing and allocating are illegal. The
+// event queues on vp.pendingFaults and checkPreempt drains it on the
+// vproc's own goroutine, which is a legal context for both. The deferral
+// does not cost exactness beyond a task's normal wakeup jitter: the idle
+// machines exit with sweepFault at the deadline instant, and a busy vproc
+// notices at its next loop-top — the same latency a timer continuation has.
+
+// FaultKind classifies a fault-plan event.
+type FaultKind int
+
+const (
+	// FaultStall pauses the vproc for StallNs of virtual time (a slow or
+	// briefly unresponsive node). The stall is GC-safe: the vproc keeps
+	// servicing stop-the-world signals while stalled (SleepFor).
+	FaultStall FaultKind = iota
+	// FaultBurst allocates Words of short-lived data and promotes it,
+	// forcing local-collection and global-heap pressure (a heap spike).
+	FaultBurst
+	// FaultClose closes Ch at the deadline: parked receivers wake with nil
+	// messages and in-flight sends observe SendClosed — the
+	// recoverable-failure path under load.
+	FaultClose
+)
+
+// String names the kind for diagnostics.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultStall:
+		return "stall"
+	case FaultBurst:
+		return "burst"
+	case FaultClose:
+		return "close"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultEvent is one scheduled fault.
+type FaultEvent struct {
+	// At is the virtual deadline (ns) at which the fault fires.
+	At int64
+	// VProc is the vproc the fault executes on (the stalled/bursting
+	// vproc; for FaultClose, the vproc whose timer queue carries the
+	// event — the close itself is host-side).
+	VProc int
+	// Kind selects the fault body.
+	Kind FaultKind
+	// StallNs is the stall duration (FaultStall).
+	StallNs int64
+	// Words is the burst allocation size in payload words (FaultBurst).
+	Words int
+	// Ch is the channel to close (FaultClose).
+	Ch *Channel
+}
+
+// FaultPlan is an ordered set of fault events. Build one with the chained
+// helpers or RandomFaultPlan, then arm it with Runtime.InstallFaults.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// Stall schedules a FaultStall and returns the plan for chaining.
+func (p *FaultPlan) Stall(vproc int, at, stallNs int64) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, VProc: vproc, Kind: FaultStall, StallNs: stallNs})
+	return p
+}
+
+// Burst schedules a FaultBurst and returns the plan for chaining.
+func (p *FaultPlan) Burst(vproc int, at int64, words int) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, VProc: vproc, Kind: FaultBurst, Words: words})
+	return p
+}
+
+// CloseAt schedules a FaultClose and returns the plan for chaining.
+func (p *FaultPlan) CloseAt(vproc int, at int64, ch *Channel) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, VProc: vproc, Kind: FaultClose, Ch: ch})
+	return p
+}
+
+// RandomFaultPlan builds a seeded plan of stalls and bursts spread over
+// [horizon/8, horizon) across nv vprocs: the same xorshift64* generator the
+// workloads use, so the plan is a pure function of its arguments. Channel
+// closes are not generated here — they need channel references, which only
+// the embedding workload has; compose with CloseAt.
+func RandomFaultPlan(seed uint64, nv int, horizon int64, stalls, bursts int) *FaultPlan {
+	if nv < 1 {
+		panic(fmt.Sprintf("core: RandomFaultPlan with %d vprocs", nv))
+	}
+	if horizon < 16 {
+		panic(fmt.Sprintf("core: RandomFaultPlan horizon %d too short", horizon))
+	}
+	// Scramble before forcing the state odd: a bare seed|1 would collapse
+	// adjacent even/odd seeds into the same stream.
+	x := seed*0x9E3779B97F4A7C15 | 1
+	next := func() uint64 {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		return x * 0x2545F4914F6CDD1D
+	}
+	at := func() int64 {
+		lo := horizon / 8
+		return lo + int64(next()%uint64(horizon-lo))
+	}
+	p := &FaultPlan{}
+	for i := 0; i < stalls; i++ {
+		p.Stall(int(next()%uint64(nv)), at(), 20_000+int64(next()%180_000))
+	}
+	for i := 0; i < bursts; i++ {
+		p.Burst(int(next()%uint64(nv)), at(), int(2048+next()%6144))
+	}
+	return p
+}
+
+// InstallFaults arms every event of the plan on its vproc's timer queue.
+// Call before Run (or from workload setup code at virtual time zero);
+// events whose deadline lies beyond the run's natural makespan are inert —
+// fault timers do not count as outstanding work, so the runtime quiesces
+// normally and unfired events are simply never popped.
+func (rt *Runtime) InstallFaults(p *FaultPlan) {
+	for i := range p.Events {
+		e := &p.Events[i]
+		if e.VProc < 0 || e.VProc >= len(rt.VProcs) {
+			panic(fmt.Sprintf("core: fault event %d targets vproc %d of %d", i, e.VProc, len(rt.VProcs)))
+		}
+		if e.At < 0 {
+			panic(fmt.Sprintf("core: fault event %d at negative instant %d", i, e.At))
+		}
+		if e.Kind == FaultClose && e.Ch == nil {
+			panic(fmt.Sprintf("core: fault event %d closes a nil channel", i))
+		}
+		rt.VProcs[e.VProc].timers.Add(e.At, e)
+	}
+}
+
+// runPendingFaults drains the deferred fault events in FIFO order on the
+// vproc's own goroutine. The inFault guard stops re-entry: a stall's
+// SleepFor services checkPreempt, which would otherwise start draining the
+// remaining events recursively (and a burst's allocations reach safepoints
+// whose timer pops can append more).
+func (vp *VProc) runPendingFaults() {
+	if vp.inFault {
+		return
+	}
+	vp.inFault = true
+	for len(vp.pendingFaults) != 0 {
+		e := vp.pendingFaults[0]
+		vp.pendingFaults = vp.pendingFaults[1:]
+		vp.Stats.FaultsInjected++
+		switch e.Kind {
+		case FaultStall:
+			vp.Stats.FaultStallNs += e.StallNs
+			vp.SleepFor(e.StallNs)
+		case FaultBurst:
+			vp.faultBurst(e.Words)
+		case FaultClose:
+			e.Ch.Close()
+		default:
+			panic(fmt.Sprintf("core: unknown fault kind %d", e.Kind))
+		}
+	}
+	vp.inFault = false
+}
+
+// faultBurst allocates words of short-lived data in 64-word objects and
+// promotes each, pressuring the nursery (minor collections), the global
+// chunk pool, and — through the allocated-words trigger — the global
+// collector, exactly like a mutator's worst-case allocation spike.
+func (vp *VProc) faultBurst(words int) {
+	const objWords = 64
+	for words > 0 {
+		n := objWords
+		if words < n {
+			n = words
+		}
+		words -= n
+		s := vp.PushRoot(vp.AllocRawN(n))
+		vp.Promote(vp.Root(s))
+		vp.PopRoots(1)
+		vp.Stats.FaultBurstWords += int64(n)
+	}
+}

@@ -241,7 +241,11 @@ func (rt *Runtime) TotalStats() VPStats {
 		t.ChanSends += vp.Stats.ChanSends
 		t.ChanRecvs += vp.Stats.ChanRecvs
 		t.ChanHandoffs += vp.Stats.ChanHandoffs
+		t.ChanSheds += vp.Stats.ChanSheds
 		t.TimersFired += vp.Stats.TimersFired
+		t.FaultsInjected += vp.Stats.FaultsInjected
+		t.FaultStallNs += vp.Stats.FaultStallNs
+		t.FaultBurstWords += vp.Stats.FaultBurstWords
 	}
 	return t
 }

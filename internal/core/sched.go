@@ -275,6 +275,7 @@ const (
 	sweepQuiesce          // no outstanding tasks after a failed sweep
 	sweepJoinDone         // the joined task completed
 	sweepExhausted        // one-shot sweep found nothing (trySteal)
+	sweepFault            // a fault-plan event came due (run it off-machine)
 )
 
 // sweep runs the vproc's steal-probe machine — and, unless oneShot, the
@@ -320,6 +321,13 @@ func (vp *VProc) sweep(join *Task, oneShot bool) (outcome int, victim *VProc) {
 			}
 			if vp.timers.Len() != 0 {
 				vp.fireDueTimers()
+			}
+			if len(vp.pendingFaults) != 0 {
+				// Fault bodies advance and allocate, which is illegal
+				// inside this step function; exit the machine so the
+				// caller's next checkPreempt runs them.
+				outcome = sweepFault
+				return 0, true
 			}
 			if vp.queue.size() > 0 {
 				outcome = sweepRunLocal
@@ -415,6 +423,9 @@ func (vp *VProc) checkPreempt() {
 	if vp.timers.Len() != 0 {
 		vp.fireDueTimers()
 	}
+	if len(vp.pendingFaults) != 0 {
+		vp.runPendingFaults()
+	}
 }
 
 // ServiceScheduler lets mutator code that is waiting on an external
@@ -450,6 +461,8 @@ func (vp *VProc) schedulerLoop() {
 		switch out {
 		case sweepSteal:
 			vp.runTask(vp.stealFrom(victim))
+		case sweepFault:
+			continue // loop-top checkPreempt drains the pending faults
 		case sweepRunLocal, sweepPreempt:
 			// The sweep's loop-top already performed this
 			// iteration's preemption checks; service the signal (if
@@ -491,6 +504,8 @@ func (vp *VProc) Join(t *Task) {
 		switch out {
 		case sweepSteal:
 			vp.runTask(vp.stealFrom(victim))
+		case sweepFault:
+			continue // loop-top checkPreempt drains the pending faults
 		case sweepRunLocal, sweepPreempt:
 			if out == sweepPreempt {
 				vp.participateGlobal()

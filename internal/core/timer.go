@@ -34,7 +34,7 @@ import (
 // advance-free engine segment, so no interleaving can double-deliver or
 // strand the continuation.
 func (vp *VProc) timerArm(deadline int64, r *rendezvous) {
-	vp.timers.Add(deadline, r)
+	r.timer = vp.timers.Add(deadline, r)
 }
 
 // timeoutWhich is the channel index delivered to a timed select's
@@ -43,7 +43,12 @@ const timeoutWhich = -1
 
 // fireDueTimers enqueues the continuation of every timer whose deadline has
 // been reached. Entries whose rendezvous was already claimed (a channel
-// delivered first) are discarded. Must run on the owning vproc.
+// delivered first and retired the timer, or — if the claim and this pop
+// raced at the same safepoint — left it stale) are discarded. Fault-plan
+// events are not run here: fireDueTimers is called from contexts where
+// advancing and allocating are illegal (StepWhile step functions), so they
+// are deferred to vp.pendingFaults and executed at the next checkPreempt.
+// Must run on the owning vproc.
 func (vp *VProc) fireDueTimers() {
 	var due []*rendezvous
 	for {
@@ -51,13 +56,21 @@ func (vp *VProc) fireDueTimers() {
 		if tm == nil {
 			break
 		}
-		r := tm.Data.(*rendezvous)
-		if r.claimed {
-			continue // a channel won the race; the ring entry is stale too
+		switch d := tm.Data.(type) {
+		case *FaultEvent:
+			vp.pendingFaults = append(vp.pendingFaults, d)
+		case *rendezvous:
+			r := d
+			if r.claimed {
+				continue // a channel won the race; the ring entry is stale too
+			}
+			r.claimed = true
+			r.timer = nil // popped; nothing left to cancel
+			vp.removeParked(r)
+			due = append(due, r)
+		default:
+			panic(fmt.Sprintf("core: unknown timer payload %T", tm.Data))
 		}
-		r.claimed = true
-		vp.removeParked(r)
-		due = append(due, r)
 	}
 	// Queue the batch in reverse: the owner pops its deque LIFO, so this
 	// runs the batch in (deadline, registration) order — two timers due at

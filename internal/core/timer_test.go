@@ -345,3 +345,36 @@ func TestTimedSelectStress(t *testing.T) {
 		t.Errorf("stress should exercise both outcomes: timeouts=%d deliveries=%d", t1, d1)
 	}
 }
+
+// TestTimerRetiredWhenReplyWins: a delivery that claims a timed rendezvous
+// must remove its timeout from the timer queue outright (vtime.Remove), not
+// merely leave a stale entry to be skipped — a retired deadline must no
+// longer occupy queue space or clamp idle charges.
+func TestTimerRetiredWhenReplyWins(t *testing.T) {
+	rt := MustNewRuntime(stressConfig(1))
+	ch := rt.NewChannel()
+	var calls int
+	var pendingAfterWin int
+	rt.Run(func(vp *VProc) {
+		vp.SelectThenTimeout([]*Channel{ch}, 50_000_000, nil, func(vp *VProc, _ Env, w int, m heap.Addr) {
+			calls++
+		})
+		if vp.timers.Len() != 1 {
+			t.Errorf("timeout not armed: %d timers pending", vp.timers.Len())
+		}
+		m := vp.AllocRaw([]uint64{7})
+		s := vp.PushRoot(m)
+		ch.Send(vp, s)
+		vp.PopRoots(1)
+		pendingAfterWin = vp.timers.Len()
+	})
+	if calls != 1 {
+		t.Fatalf("continuation ran %d times, want exactly once", calls)
+	}
+	if pendingAfterWin != 0 {
+		t.Errorf("%d timer(s) still pending after the reply won; want 0 (cancelled)", pendingAfterWin)
+	}
+	if ts := rt.TotalStats(); ts.TimersFired != 0 {
+		t.Errorf("cancelled timer fired %d continuations, want 0", ts.TimersFired)
+	}
+}

@@ -52,6 +52,15 @@ type VProc struct {
 	// GC roots through the same scans.
 	timers vtime.TimerQueue
 
+	// pendingFaults holds fault-plan events whose deadlines have passed but
+	// which have not executed yet: fireDueTimers can run inside engine step
+	// functions where advancing and allocating are illegal, so it defers
+	// fault bodies here and checkPreempt drains them on the vproc's own
+	// goroutine (see faults.go). inFault guards re-entry — a stall fault
+	// sleeping through checkPreempt must not start draining recursively.
+	pendingFaults []*FaultEvent
+	inFault       bool
+
 	// resultTasks holds completed result-producing tasks this vproc
 	// executed whose results have not been joined yet; the results are
 	// GC roots of this vproc.
@@ -94,7 +103,11 @@ type VPStats struct {
 	ChanSends       int64 // channel messages sent
 	ChanRecvs       int64 // channel messages received
 	ChanHandoffs    int64 // sends delivered directly to a parked receiver
+	ChanSheds       int64 // sends shed (TrySend on full, or send on closed)
 	TimersFired     int64 // timer continuations fired at their deadlines
+	FaultsInjected  int64 // fault-plan events executed on this vproc
+	FaultStallNs    int64 // virtual time spent in injected stalls
+	FaultBurstWords int64 // words allocated by injected heap-pressure bursts
 }
 
 // Runtimer accessors.

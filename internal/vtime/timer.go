@@ -7,7 +7,11 @@ type Timer struct {
 	When int64
 	// seq breaks deadline ties in registration order, so the pop order is
 	// a pure function of the Add sequence — the determinism contract.
-	seq  uint64
+	seq uint64
+	// pos is the timer's current index in the queue's heap array, kept
+	// current by every sift so Remove can cancel an entry in O(depth); -1
+	// once the timer has been popped or removed.
+	pos  int
 	Data any
 }
 
@@ -30,22 +34,80 @@ type TimerQueue struct {
 // the owner may since have invalidated — staleness is the owner's concern).
 func (q *TimerQueue) Len() int { return len(q.h) }
 
-// Add schedules data at the given deadline and returns the entry.
+// Add schedules data at the given deadline and returns the entry, which the
+// caller may later cancel with Remove.
 func (q *TimerQueue) Add(when int64, data any) *Timer {
-	t := &Timer{When: when, seq: q.seq, Data: data}
+	t := &Timer{When: when, seq: q.seq, pos: len(q.h), Data: data}
 	q.seq++
-	h := append(q.h, t)
-	i := len(h) - 1
+	q.h = append(q.h, t)
+	q.siftUp(len(q.h) - 1)
+	return t
+}
+
+// siftUp restores the heap order upward from index i.
+func (q *TimerQueue) siftUp(i int) {
+	h := q.h
 	for i > 0 {
 		parent := (i - 1) / heapArity
 		if !timerLess(h[i], h[parent]) {
 			break
 		}
 		h[i], h[parent] = h[parent], h[i]
+		h[i].pos, h[parent].pos = i, parent
 		i = parent
 	}
-	q.h = h
-	return t
+}
+
+// siftDown restores the heap order downward from index i.
+func (q *TimerQueue) siftDown(i int) {
+	h := q.h
+	n := len(h)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		min := i
+		for c := first; c < last; c++ {
+			if timerLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		h[i].pos, h[min].pos = i, min
+		i = min
+	}
+}
+
+// Remove cancels a pending timer: the entry leaves the queue immediately, so
+// a retired deadline (e.g. a timeout whose reply won) no longer clamps idle
+// charges or occupies heap space. Reports false — without touching the queue
+// — if the timer is not pending here (already popped or removed). Removal
+// does not perturb the (When, seq) order of the remaining entries, so it is
+// as deterministic as the pops.
+func (q *TimerQueue) Remove(t *Timer) bool {
+	i := t.pos
+	if i < 0 || i >= len(q.h) || q.h[i] != t {
+		return false
+	}
+	n := len(q.h) - 1
+	q.h[i] = q.h[n]
+	q.h[i].pos = i
+	q.h[n] = nil
+	q.h = q.h[:n]
+	t.pos = -1
+	if i < n {
+		q.siftDown(i)
+		q.siftUp(i)
+	}
+	return true
 }
 
 // timerLess orders timers by (When, seq); keys are unique.
@@ -76,31 +138,13 @@ func (q *TimerQueue) pop() *Timer {
 	t := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
+	h[0].pos = 0
 	h[n] = nil
-	h = h[:n]
-	i := 0
-	for {
-		first := heapArity*i + 1
-		if first >= n {
-			break
-		}
-		last := first + heapArity
-		if last > n {
-			last = n
-		}
-		min := i
-		for c := first; c < last; c++ {
-			if timerLess(h[c], h[min]) {
-				min = c
-			}
-		}
-		if min == i {
-			break
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
+	q.h = h[:n]
+	t.pos = -1
+	if n > 0 {
+		q.siftDown(0)
 	}
-	q.h = h
 	return t
 }
 

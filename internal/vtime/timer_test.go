@@ -115,3 +115,61 @@ func TestProcSleepUntilPast(t *testing.T) {
 		}
 	})
 }
+
+// TestTimerQueueRemove: Remove cancels exactly the given pending entry,
+// reports false for anything not pending, and leaves the (When, seq) pop
+// order of the survivors untouched.
+func TestTimerQueueRemove(t *testing.T) {
+	var q TimerQueue
+	deadlines := []int64{50, 10, 30, 10, 90, 30, 10, 70}
+	timers := make([]*Timer, len(deadlines))
+	for i, d := range deadlines {
+		timers[i] = q.Add(d, i)
+	}
+
+	// Remove a middle entry, the current minimum, and the maximum.
+	for _, i := range []int{2, 1, 4} {
+		if !q.Remove(timers[i]) {
+			t.Fatalf("Remove(timers[%d]) = false, want true", i)
+		}
+		if q.Remove(timers[i]) {
+			t.Fatalf("second Remove(timers[%d]) = true, want false", i)
+		}
+	}
+	if q.Len() != len(deadlines)-3 {
+		t.Fatalf("Len = %d after 3 removals, want %d", q.Len(), len(deadlines)-3)
+	}
+
+	// Survivors drain in (deadline, registration-order) order, untouched by
+	// the removals.
+	want := []int{3, 6, 5, 0, 7} // deadlines 10,10,30,50,70 by insertion order
+	for _, wi := range want {
+		tm := q.PopDue(1 << 62)
+		if tm == nil {
+			t.Fatal("PopDue returned nil with entries pending")
+		}
+		if tm.Data.(int) != wi {
+			t.Fatalf("popped entry %d (deadline %d), want entry %d", tm.Data.(int), tm.When, wi)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+
+	// A popped timer is no longer pending: Remove must refuse it.
+	tm := q.Add(5, "once")
+	if got := q.PopDue(5); got != tm {
+		t.Fatalf("PopDue(5) = %v, want the added timer", got)
+	}
+	if q.Remove(tm) {
+		t.Fatal("Remove of an already-popped timer returned true")
+	}
+	// And removing the sole entry empties the queue cleanly.
+	tm = q.Add(7, "only")
+	if !q.Remove(tm) || q.Len() != 0 {
+		t.Fatalf("Remove of the only entry: Len = %d, want 0", q.Len())
+	}
+	if _, ok := q.NextDeadline(); ok {
+		t.Fatal("NextDeadline reports a deadline on an empty queue")
+	}
+}

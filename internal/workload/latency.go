@@ -105,11 +105,11 @@ type LatencyResult struct {
 type latState struct {
 	opt     LatencyOptions
 	seed    uint64
-	arrival [][]int64  // scheduled send instants
-	large   [][]bool   // request lane
-	words   [][]int    // payload words
-	end     [][]int64  // completion instants (0 = not yet replied)
-	acc     []uint64   // per-client commutative reply fold
+	arrival [][]int64 // scheduled send instants
+	large   [][]bool  // request lane
+	words   [][]int   // payload words
+	end     [][]int64 // completion instants (0 = not yet replied)
+	acc     []uint64  // per-client commutative reply fold
 	small   *core.Channel
 	largeCh *core.Channel
 	replies []*core.Channel

@@ -120,6 +120,49 @@ func srvServe(vp *core.VProc, large, small *core.Channel, replies []*core.Channe
 	})
 }
 
+// ovServe is one overload-pool server worker: receive from the bounded
+// request lane, apply the admission policy's server side, reply, re-park.
+// Unlike srvServe there is no quota — the worker runs until the lane
+// closes (the harness closes it when every request has resolved), observed
+// as a nil message. Under AdmitDeadline a request whose remaining service
+// time cannot meet its deadline is nacked after reading only its 3-word
+// header, so a saturated server spends its time on requests that can still
+// succeed — the mechanism behind the goodput plateau.
+func ovServe(vp *core.VProc, st *ovState) {
+	st.lane.RecvThen(vp, nil, func(vp *core.VProc, _ core.Env, msg heap.Addr) {
+		if msg == 0 {
+			return // lane closed: pool shutdown
+		}
+		words := vp.ObjectLen(msg)
+		if st.opt.Admission == AdmitDeadline {
+			client := int(vp.LoadWord(msg, 0))
+			seq := vp.LoadWord(msg, 1)
+			deadline := int64(vp.LoadWord(msg, 2))
+			if vp.Now()+int64(words)*st.opt.ServiceNsPerWord > deadline {
+				out := vp.AllocRaw([]uint64{seq, 0, 1})
+				os := vp.PushRoot(out)
+				st.replies[client].Send(vp, os)
+				vp.PopRoots(1)
+				ovServe(vp, st)
+				return
+			}
+		}
+		p := vp.ReadBlockCompute(msg, int64(words)*st.opt.ServiceNsPerWord)
+		client, seq := int(p[0]), p[1]
+		var sum uint64
+		for _, w := range p {
+			sum = fnv1a(sum, w)
+		}
+		// p (and msg) are dead after the fold; the reply allocation may
+		// collect them.
+		out := vp.AllocRaw([]uint64{seq, sum, 0})
+		os := vp.PushRoot(out)
+		st.replies[client].Send(vp, os)
+		vp.PopRoots(1)
+		ovServe(vp, st)
+	})
+}
+
 // srvClient publishes the client's full request budget (never blocking:
 // the request mailboxes are unbounded), then collects the replies through a
 // continuation chain.
