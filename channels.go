@@ -50,6 +50,17 @@ import "repro/internal/core"
 // Runtime.NewMailbox.
 type Channel = core.Channel
 
+// SendStatus is the outcome of a send attempt — close-as-status, never a
+// panic.
+type SendStatus = core.SendStatus
+
+// Send statuses.
+const (
+	SendOK     = core.SendOK
+	SendFull   = core.SendFull
+	SendClosed = core.SendClosed
+)
+
 // Select receives from whichever channel first has a message; it is
 // Worker.Select as a free function, for readability at call sites.
 func Select(w *Worker, chans ...*Channel) (int, Addr) {

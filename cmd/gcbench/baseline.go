@@ -1,9 +1,10 @@
 package main
 
-// Baseline recording and comparison. Three baseline kinds share one
+// Baseline recording and comparison. Four baseline kinds share one
 // write/compare mechanism: the throughput suite (BENCH_v*.json), the
-// open-loop latency sweep (LATENCY_v*.json), and the overload sweep
-// (OVERLOAD_v*.json). Each kind provides a point type carrying its own
+// open-loop latency sweep (LATENCY_v*.json), the overload sweep
+// (OVERLOAD_v*.json), and the memory-pressure sweep
+// (MEMPRESSURE_v*.json). Each kind provides a point type carrying its own
 // identity (Key) and exact-equality contract (VirtualEq); the generic
 // helpers own the JSON envelope, the point-by-point drift report, and the
 // CI gate semantics (any virtual drift fails).
@@ -257,5 +258,23 @@ func writeOverloadBaseline(path string, workers int, progress func(string)) erro
 func compareOverloadBaseline(path string, workers int, progress func(string)) error {
 	return compareBaselineFile(path, "overload", 0, func() ([]bench.OverloadPoint, error) {
 		return bench.MeasureOverload(bench.DefaultOverloadSweep(), workers, progress), nil
+	})
+}
+
+// --- Memory-pressure baseline (MEMPRESSURE_v1.json) --------------------------
+
+// writeMempressureBaseline measures the fixed memory-pressure sweep and
+// writes the JSON baseline.
+func writeMempressureBaseline(path string, workers int, progress func(string)) error {
+	return writeBaselineFile(path, 1, 0, bench.MeasureMempressure(bench.DefaultMempressureSweep(), workers, progress))
+}
+
+// compareMempressureBaseline re-measures the fixed memory-pressure sweep
+// and fails on any drift in the virtual fields (goodput and shed
+// accounting, emergency-GC/alloc-failure/overdraft counters, percentiles,
+// checksums) — the heap-exhaustion graceful-degradation gate.
+func compareMempressureBaseline(path string, workers int, progress func(string)) error {
+	return compareBaselineFile(path, "memory-pressure", 0, func() ([]bench.MempressurePoint, error) {
+		return bench.MeasureMempressure(bench.DefaultMempressureSweep(), workers, progress), nil
 	})
 }

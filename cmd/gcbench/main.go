@@ -15,11 +15,14 @@
 //	gcbench -latency                  # open-loop latency sweep (tail latency under GC)
 //	gcbench -overload                 # overload sweep (goodput/SLO vs offered load, faulted points)
 //	gcbench -overload -loads 80000,40000 -admission deadline -fault-seed 7
+//	gcbench -mempressure              # memory-pressure sweep (bounded heaps, emergency GC, memory-aware admission)
+//	gcbench -mempressure -budgets 0,20,16 -admission memory
 //	gcbench -baseline BENCH_v3.json   # record a perf baseline (JSON)
 //	gcbench -compare BENCH_v3.json    # fail on any virtual-time drift
 //	gcbench -latency -baseline LATENCY_v1.json   # record the latency baseline
 //	gcbench -latency -compare LATENCY_v1.json    # latency drift gate
 //	gcbench -overload -compare OVERLOAD_v1.json  # overload drift gate
+//	gcbench -mempressure -compare MEMPRESSURE_v1.json  # memory-pressure drift gate
 package main
 
 import (
@@ -44,14 +47,16 @@ func main() {
 		server    = flag.Bool("server", false, "sweep the message-passing server workload (both machines, all three policies)")
 		latency   = flag.Bool("latency", false, "sweep the open-loop latency harness: tail latency under GC with pause attribution (fixed configuration)")
 		overload  = flag.Bool("overload", false, "sweep the overload harness: goodput/SLO vs offered load per admission policy, with faulted points")
+		mempress  = flag.Bool("mempressure", false, "sweep the memory-pressure harness: bounded-heap budget ladder per admission policy, with squeeze-fault points")
+		budgets   = flag.String("budgets", "", "with -mempressure: comma-separated global chunk budgets (0 = unbounded; default: the 0/32/24/16 ladder)")
 		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = default reduced sizes)")
 		machine   = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32)")
 		policy    = flag.String("policy", "local", "page placement policy (local, interleaved, single-node)")
 		threads   = flag.String("threads", "", "comma-separated thread counts for custom sweeps")
 		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: the five paper benchmarks)")
 		loads     = flag.String("loads", "", "with -overload: comma-separated mean inter-arrival gaps in virtual ns (default: the 0.4x/1x/2x/4x saturation ladder)")
-		admission = flag.String("admission", "", "with -overload: comma-separated admission policies (none, queue, deadline; default: all three)")
-		faultSeed = flag.Uint64("fault-seed", bench.OverloadFaultSeed, "with -overload: seed of the faulted top-load points (0 disables them)")
+		admission = flag.String("admission", "", "with -overload/-mempressure: comma-separated admission policies (none, queue, deadline, memory; default: that sweep's fixed set)")
+		faultSeed = flag.Uint64("fault-seed", bench.OverloadFaultSeed, "with -overload: seed of the faulted top-load points; with -mempressure: seed of the squeeze points (0 disables them)")
 		verbose   = flag.Bool("v", false, "print per-run progress")
 		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "sweep points to run concurrently (virtual results are identical for any value)")
 		baseline  = flag.String("baseline", "", "write a perf-baseline JSON to this file (with -latency/-overload: that sweep's baseline)")
@@ -82,26 +87,58 @@ func main() {
 	if *figure != 0 && (*figure < 4 || *figure > 7) {
 		fatal(fmt.Errorf("-figure %d out of range: the paper's figures are 4-7", *figure))
 	}
-	if *latency && *overload {
-		fatal(fmt.Errorf("-latency and -overload are mutually exclusive sweeps"))
+	if btoi(*latency)+btoi(*overload)+btoi(*mempress) > 1 {
+		fatal(fmt.Errorf("-latency, -overload, and -mempressure are mutually exclusive sweeps"))
 	}
 
-	// The overload knobs are validated whenever set (reject, never clamp)
-	// and only mean anything to a custom -overload sweep: RunOverload
+	// The overload/mempressure knobs are validated whenever set (reject,
+	// never clamp) and only mean anything to a custom sweep: RunOverload
 	// panics on a gap below 2 ns, so the CLI must catch that first with a
-	// usable message, and an unknown admission name must not half-run a
-	// sweep before failing inside a worker.
+	// usable message, and an unknown admission name or an unusable budget
+	// must not half-run a sweep before failing inside a worker.
 	sweep := bench.DefaultOverloadSweep()
 	sweep.FaultSeed = *faultSeed
-	overloadKnobs := false
+	mpSweep := bench.DefaultMempressureSweep()
+	var loadsSet, budgetsSet, admSet, faultSeedSet bool
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "loads", "admission", "fault-seed":
-			overloadKnobs = true
+		case "loads":
+			loadsSet = true
+		case "budgets":
+			budgetsSet = true
+		case "admission":
+			admSet = true
+		case "fault-seed":
+			faultSeedSet = true
 		}
 	})
-	if overloadKnobs && !*overload {
-		fatal(fmt.Errorf("-loads/-admission/-fault-seed only apply to the -overload sweep"))
+	if loadsSet && !*overload {
+		fatal(fmt.Errorf("-loads only applies to the -overload sweep"))
+	}
+	if budgetsSet && !*mempress {
+		fatal(fmt.Errorf("-budgets only applies to the -mempressure sweep"))
+	}
+	if (admSet || faultSeedSet) && !*overload && !*mempress {
+		fatal(fmt.Errorf("-admission/-fault-seed only apply to the -overload and -mempressure sweeps"))
+	}
+	if faultSeedSet && *mempress {
+		mpSweep.SqueezeSeed = *faultSeed
+	}
+	if *budgets != "" {
+		mpSweep.Budgets = nil
+		for _, s := range strings.Split(*budgets, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad -budgets value %q: %w", s, err))
+			}
+			if b < 0 {
+				fatal(fmt.Errorf("-budgets value %d is negative (0 = unbounded)", b))
+			}
+			if b > 0 && b < bench.MempressureThreads {
+				fatal(fmt.Errorf("-budgets value %d is below the %d-vproc pool (every vproc needs at least one chunk)", b, bench.MempressureThreads))
+			}
+			mpSweep.Budgets = append(mpSweep.Budgets, b)
+		}
 	}
 	if *loads != "" {
 		sweep.Loads = nil
@@ -130,22 +167,22 @@ func main() {
 	if *baseline != "" && *compare != "" {
 		fatal(fmt.Errorf("-baseline and -compare are mutually exclusive"))
 	}
-	if *baseline != "" || *compare != "" || *latency || *overload {
-		// Baselines (and the latency/overload sweeps) are only comparable
-		// across PRs when they are always recorded at the one fixed
-		// configuration, so reject any other configuration flag rather than
-		// silently ignoring it. -j and -v are allowed: they do not change
-		// virtual results. The overload knobs are allowed only for a custom
-		// print-mode sweep, never for its baseline.
+	if *baseline != "" || *compare != "" || *latency || *overload || *mempress {
+		// Baselines (and the latency/overload/mempressure sweeps) are only
+		// comparable across PRs when they are always recorded at the one
+		// fixed configuration, so reject any other configuration flag rather
+		// than silently ignoring it. -j and -v are allowed: they do not
+		// change virtual results. The sweep knobs are allowed only for a
+		// custom print-mode sweep, never for a baseline.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "baseline", "compare", "latency", "overload", "v", "j":
-			case "loads", "admission", "fault-seed":
+			case "baseline", "compare", "latency", "overload", "mempressure", "v", "j":
+			case "loads", "admission", "fault-seed", "budgets":
 				if *baseline != "" || *compare != "" {
-					fatal(fmt.Errorf("-baseline/-compare use the fixed overload sweep; remove -%s", f.Name))
+					fatal(fmt.Errorf("-baseline/-compare use that sweep's fixed configuration; remove -%s", f.Name))
 				}
 			default:
-				fatal(fmt.Errorf("-baseline/-compare/-latency/-overload use a fixed configuration; remove -%s", f.Name))
+				fatal(fmt.Errorf("-baseline/-compare/-latency/-overload/-mempressure use a fixed configuration; remove -%s", f.Name))
 			}
 		})
 		var progress func(string)
@@ -154,6 +191,12 @@ func main() {
 		}
 		var err error
 		switch {
+		case *mempress && *baseline != "":
+			err = writeMempressureBaseline(*baseline, *workers, progress)
+		case *mempress && *compare != "":
+			err = compareMempressureBaseline(*compare, *workers, progress)
+		case *mempress:
+			fmt.Println(bench.RenderMempressure(mpSweep, bench.MeasureMempressure(mpSweep, *workers, progress)))
 		case *overload && *baseline != "":
 			err = writeOverloadBaseline(*baseline, *workers, progress)
 		case *overload && *compare != "":
@@ -238,4 +281,11 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gcbench:", err)
 	os.Exit(1)
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -7,6 +7,10 @@
 // band. With -overload it runs the overload harness at one offered load and
 // admission policy (optionally with a seeded fault plan) and prints the
 // goodput/SLO and shed/retry accounting behind one gcbench -overload point.
+// With -mempressure it runs the same harness against a bounded heap
+// (-budget chunks, optionally with a seeded transient squeeze) and adds the
+// memory-pressure accounting: memory sheds, emergency-ladder walks, failed
+// allocations, and budget overdrafts behind one gcbench -mempressure point.
 //
 // Usage:
 //
@@ -16,6 +20,8 @@
 //	gctrace -latency -gap 100000 -policy single-node
 //	gctrace -overload -p 16 -gap 80000 -admission deadline
 //	gctrace -overload -p 16 -gap 40000 -admission queue -fault-seed 0xfa115afe
+//	gctrace -mempressure -p 16 -gap 40000 -admission memory -budget 24
+//	gctrace -mempressure -p 16 -gap 40000 -admission queue -fault-seed 0x5c0ee2e1
 package main
 
 import (
@@ -41,9 +47,11 @@ func main() {
 		events    = flag.Bool("events", false, "print every GC event")
 		latency   = flag.Bool("latency", false, "run the open-loop latency harness (GC-pressure heap shape) and print the pause-attribution breakdown")
 		overload  = flag.Bool("overload", false, "run the overload harness (GC-pressure heap shape) and print the goodput/SLO and shed/retry accounting")
-		gap       = flag.Int64("gap", 400_000, "with -latency/-overload: mean per-client inter-arrival gap in virtual ns (offered load)")
-		admission = flag.String("admission", "deadline", "with -overload: admission policy (none, queue, deadline)")
-		faultSeed = flag.Uint64("fault-seed", 0, "with -overload: seed a fault plan of vproc stalls and allocation bursts (0 = no faults)")
+		mempress  = flag.Bool("mempressure", false, "run the overload harness against a bounded heap and print the memory-pressure accounting")
+		gap       = flag.Int64("gap", 400_000, "with -latency/-overload/-mempressure: mean per-client inter-arrival gap in virtual ns (offered load)")
+		admission = flag.String("admission", "deadline", "with -overload/-mempressure: admission policy (none, queue, deadline, memory)")
+		faultSeed = flag.Uint64("fault-seed", 0, "with -overload: seed a fault plan of stalls and bursts; with -mempressure: seed a transient budget squeeze (0 = no faults)")
+		budget    = flag.Int("budget", 0, "with -mempressure: global heap budget in chunks (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -68,8 +76,20 @@ func main() {
 	if *gap < 2 {
 		fatal(fmt.Errorf("-gap %d is not a usable inter-arrival gap (need >= 2 ns)", *gap))
 	}
-	if *latency && *overload {
-		fatal(fmt.Errorf("-latency and -overload are mutually exclusive harnesses"))
+	nHarness := 0
+	for _, on := range []bool{*latency, *overload, *mempress} {
+		if on {
+			nHarness++
+		}
+	}
+	if nHarness > 1 {
+		fatal(fmt.Errorf("-latency, -overload, and -mempressure are mutually exclusive harnesses"))
+	}
+	if *budget < 0 {
+		fatal(fmt.Errorf("-budget %d is negative (0 = unbounded)", *budget))
+	}
+	if *budget > 0 && *budget < *vprocs {
+		fatal(fmt.Errorf("-budget %d is below -p %d (every vproc needs at least one chunk)", *budget, *vprocs))
 	}
 	adm, err := workload.ParseAdmission(*admission)
 	if err != nil {
@@ -77,21 +97,27 @@ func main() {
 	}
 	// Reject flag combinations that would otherwise be silently ignored:
 	// the traffic harnesses have fixed workload shapes (-bench/-scale do
-	// nothing under them), -gap only means anything to a harness, and the
-	// admission/fault knobs only mean anything to the overload harness.
-	harness := *latency || *overload
+	// nothing under them), -gap only means anything to a harness, the
+	// admission/fault knobs only mean anything to the overload and
+	// memory-pressure harnesses, and the budget only to the latter.
+	harness := *latency || *overload || *mempress
 	harnessName := "-latency"
 	if *overload {
 		harnessName = "-overload"
+	}
+	if *mempress {
+		harnessName = "-mempressure"
 	}
 	flag.Visit(func(f *flag.Flag) {
 		switch {
 		case harness && (f.Name == "bench" || f.Name == "scale"):
 			fatal(fmt.Errorf("%s runs a fixed traffic workload; remove -%s (use -gap for load)", harnessName, f.Name))
 		case !harness && f.Name == "gap":
-			fatal(fmt.Errorf("-gap only applies to the -latency/-overload harnesses"))
-		case !*overload && (f.Name == "admission" || f.Name == "fault-seed"):
-			fatal(fmt.Errorf("-%s only applies to the -overload harness", f.Name))
+			fatal(fmt.Errorf("-gap only applies to the -latency/-overload/-mempressure harnesses"))
+		case !*overload && !*mempress && (f.Name == "admission" || f.Name == "fault-seed"):
+			fatal(fmt.Errorf("-%s only applies to the -overload/-mempressure harnesses", f.Name))
+		case !*mempress && f.Name == "budget":
+			fatal(fmt.Errorf("-budget only applies to the -mempressure harness"))
 		}
 	})
 	spec, err := workload.ByName(*benchName)
@@ -101,19 +127,20 @@ func main() {
 
 	var cfg core.Config
 	if harness {
-		// Mirror the gcbench -latency/-overload sweeps' GC-pressure
-		// configuration so the numbers printed here correspond to the
-		// baseline points.
+		// Mirror the gcbench -latency/-overload/-mempressure sweeps'
+		// GC-pressure configuration so the numbers printed here correspond
+		// to the baseline points.
 		cfg = bench.LatencyConfig(topo, pol, *vprocs)
+		cfg.GlobalBudgetChunks = *budget
 	} else {
 		cfg = core.DefaultConfig(topo, *vprocs)
 		cfg.Policy = pol
 	}
 	rt := core.MustNewRuntime(cfg)
 
-	var counts [5]int
-	var words [5]int64
-	var ns [5]int64
+	var counts [core.NumEventKinds]int
+	var words [core.NumEventKinds]int64
+	var ns [core.NumEventKinds]int64
 	rt.SetTracer(func(ev core.GCEvent) {
 		counts[ev.Kind]++
 		words[ev.Kind] += ev.Words
@@ -142,8 +169,20 @@ func main() {
 		}
 		ov = workload.RunOverload(rt, opt)
 		res = ov.Result
-		fmt.Printf("overload harness on %s, policy %s, %d vprocs, %d clients x %d requests, mean gap %d ns, admission %s, SLO %d ns\n",
+		fmt.Printf("overload harness on %s, policy %s, %d vprocs, %d clients x %d requests, mean gap %d ns, admission %s, SLO %d ns, fault seed %#x\n",
+			topo.Name, pol, *vprocs, opt.Clients, opt.Requests, *gap, adm, opt.SLONs, *faultSeed)
+	case *mempress:
+		opt := bench.OverloadOptionsFor(*gap)
+		opt.Admission = adm
+		if *faultSeed != 0 {
+			opt.Faults = bench.MempressureFaultPlan(*faultSeed, *vprocs)
+		}
+		ov = workload.RunOverload(rt, opt)
+		res = ov.Result
+		fmt.Printf("memory-pressure harness on %s, policy %s, %d vprocs, %d clients x %d requests, mean gap %d ns, admission %s, SLO %d ns\n",
 			topo.Name, pol, *vprocs, opt.Clients, opt.Requests, *gap, adm, opt.SLONs)
+		fmt.Printf("heap budget %d chunks (0 = unbounded), watermarks %d/%d%%, squeeze seed %#x\n",
+			*budget, opt.MemLowPct, opt.MemHighPct, *faultSeed)
 	default:
 		res = spec.Run(rt, *scale)
 		fmt.Printf("benchmark %s on %s, policy %s, %d vprocs, scale %.2f\n",
@@ -154,10 +193,15 @@ func main() {
 	fmt.Printf("elapsed (virtual): %.3f ms   checksum: %#x\n\n", float64(res.ElapsedNs)/1e6, res.Check)
 
 	fmt.Println("collection phases:")
-	for _, k := range []core.EventKind{core.EvMinor, core.EvMajor, core.EvPromote, core.EvGlobalEnd} {
+	for _, k := range []core.EventKind{core.EvMinor, core.EvMajor, core.EvPromote, core.EvGlobalEnd, core.EvEmergency} {
 		label := k.String()
 		if k == core.EvGlobalEnd {
 			label = "global"
+		}
+		if k == core.EvEmergency && !*mempress {
+			// Emergency ladder walks only exist under a bounded heap;
+			// keep the classic views' phase table unchanged.
+			continue
 		}
 		c := counts[k]
 		if c == 0 {
@@ -189,7 +233,7 @@ func main() {
 			lat.Tail.GlobalGCs, us(lat.Tail.Global.MaxNs))
 	}
 
-	if *overload {
+	if *overload || *mempress {
 		us := func(v int64) float64 { return float64(v) / 1e3 }
 		offered := float64(ov.Offered) / float64(ov.WindowNs) * 1e3
 		goodput := float64(ov.GoodSLO) / float64(res.ElapsedNs) * 1e3
@@ -199,15 +243,29 @@ func main() {
 		fmt.Printf("  completed %6d (%d within the SLO; goodput %.2f/us, SLO attainment %.0f%%)\n",
 			ov.Completed, ov.GoodSLO, goodput, float64(ov.GoodSLO)/float64(ov.Offered)*100)
 		fmt.Printf("  expired   %6d (nacked server-side: deadline unmeetable)\n", ov.Expired)
-		fmt.Printf("  shed      %6d at admission (retry budget exhausted), %d to fault closes\n",
-			ov.ShedAdmission, ov.ShedFault)
+		fmt.Printf("  shed      %6d at admission (retry budget exhausted), %d to fault closes, %d to memory pressure\n",
+			ov.ShedAdmission, ov.ShedFault, ov.ShedMemory)
 		fmt.Printf("  retries   %6d re-attempts after a full lane (%d lane sheds total)\n",
 			ov.Retries, s.ChanSheds)
 		fmt.Printf("  latency   p50 %.1f us   p99 %.1f us (completed requests, from scheduled arrival)\n",
 			us(ov.P50), us(ov.P99))
-		if *faultSeed != 0 {
+		if *overload && *faultSeed != 0 {
 			fmt.Printf("  faults    %d injected: %.1f us stalled, %d words burst-allocated (seed %#x)\n",
 				s.FaultsInjected, us(s.FaultStallNs), s.FaultBurstWords, *faultSeed)
+		}
+	}
+
+	if *mempress {
+		mp := rt.MemPressure()
+		fmt.Printf("\nmemory pressure (deterministic occupancy counters):\n")
+		fmt.Printf("  occupancy  %6d of %d active chunks at exit (0 budget = unbounded)\n",
+			mp.ActiveChunks, mp.BudgetChunks)
+		fmt.Printf("  survived   %6d words active after the last global collection\n", mp.SurvivedWords)
+		fmt.Printf("  emergency  %6d ladder walks (minor -> major -> global, then retry)\n", mp.EmergencyGCs)
+		fmt.Printf("  allocfail  %6d mutator allocations failed after the ladder\n", mp.AllocFailed)
+		fmt.Printf("  overdraft  %6d chunk activations past the budget (collections mid-copy)\n", mp.Overdrafts)
+		if *faultSeed != 0 {
+			fmt.Printf("  squeezes   %d fault events injected (seed %#x)\n", s.FaultsInjected, *faultSeed)
 		}
 	}
 

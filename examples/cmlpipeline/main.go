@@ -12,6 +12,10 @@
 //  2. a small server pool driven by continuation receives (SelectThen over
 //     a high- and a low-priority mailbox): receivers park *tasks*, not
 //     stack frames, so the topology is deadlock-free at any vproc count.
+//     The pool shuts down by close-as-status: once every ack is in, the
+//     producer closes both lanes — parked workers wake with a nil message
+//     (their drain signal, never a panic) and a straggler send observes
+//     SendClosed as an ordinary status.
 package main
 
 import (
@@ -36,6 +40,8 @@ func main() {
 	const poolJobs = 32
 
 	var sum, poolSum uint64
+	var drained int
+	var lateStatus manticore.SendStatus
 	rt.Run(func(w *manticore.Worker) {
 		// Phase 1 — a server task: receives a boxed number, replies with
 		// its square. Runs wherever the scheduler places it — typically
@@ -63,14 +69,19 @@ func main() {
 		w.Join(server)
 
 		// Phase 2 — a two-worker pool, each worker a continuation chain:
-		// Select a job (high-priority lane first), accumulate, ack.
-		var serve func(w *manticore.Worker, quota int)
-		serve = func(w *manticore.Worker, quota int) {
-			if quota == 0 {
-				return
-			}
+		// Select a job (high-priority lane first), accumulate, ack. The
+		// workers have no job quota — they serve until their lanes close
+		// and the nil-message wakeup tells them to drain.
+		var serve func(w *manticore.Worker)
+		serve = func(w *manticore.Worker) {
 			w.SelectThen([]*manticore.Channel{hi, lo}, nil,
 				func(w *manticore.Worker, _ manticore.Env, which int, msg manticore.Addr) {
+					if msg == 0 {
+						// Closed lanes: a clean shutdown signal, delivered
+						// exactly once per parked worker.
+						drained++
+						return
+					}
 					v := w.LoadWord(msg, 0)
 					if which == 0 {
 						v *= 10 // high-priority jobs count tenfold
@@ -79,12 +90,12 @@ func main() {
 					as := w.PushRoot(ack)
 					done.Send(w, as)
 					w.PopRoots(1)
-					serve(w, quota-1)
+					serve(w)
 				})
 		}
 		for s := 0; s < 2; s++ {
 			w.Spawn(func(sw *manticore.Worker, _ manticore.Env) {
-				serve(sw, poolJobs/2)
+				serve(sw)
 			})
 		}
 		for i := 0; i < poolJobs; i++ {
@@ -100,6 +111,15 @@ func main() {
 		var collect func(w *manticore.Worker, remaining int)
 		collect = func(w *manticore.Worker, remaining int) {
 			if remaining == 0 {
+				// Every ack is in: close the lanes. The parked workers wake
+				// with nil messages and drain; a straggler send after the
+				// close observes SendClosed as a status, not a panic.
+				hi.Close()
+				lo.Close()
+				late := w.AllocRaw([]uint64{999})
+				ls := w.PushRoot(late)
+				lateStatus = hi.TrySend(w, ls)
+				w.PopRoots(1)
 				return
 			}
 			done.RecvThen(w, nil, func(w *manticore.Worker, _ manticore.Env, msg manticore.Addr) {
@@ -113,6 +133,8 @@ func main() {
 	stats := rt.TotalStats()
 	fmt.Printf("sum of squares 1..%d = %d\n", jobs, sum)
 	fmt.Printf("pool sum (hi-priority x10) = %d over %d jobs\n", poolSum, poolJobs)
+	fmt.Printf("shutdown: %d workers drained on nil-message wakeups; late send status %q\n",
+		drained, lateStatus)
 	fmt.Printf("promotions: %d (%d words) — messages crossed vprocs %d times\n",
 		stats.Promotions, stats.PromotedWords, stats.Promotions)
 	fmt.Printf("channel traffic: %d sends, %d receives, %d direct handoffs\n",

@@ -761,3 +761,72 @@ func TestCloseSkipsStaleRegistrations(t *testing.T) {
 		b.Close()
 	})
 }
+
+// TestTrySendRacesClose: senders spin TrySend on a tiny lane while another
+// task closes it mid-traffic — the exact race the overload harness's
+// admission path runs under -race. Every outcome must be a status, the
+// statuses must partition the attempts, and SendClosed must be sticky: once
+// a sender observes it, every later attempt observes it too.
+func TestTrySendRacesClose(t *testing.T) {
+	cfg := stressConfig(4)
+	cfg.GlobalTriggerWords = 4 * cfg.ChunkWords
+	rt := MustNewRuntime(cfg)
+	lane := rt.NewMailbox(1)
+	const senders, attempts = 8, 32
+	var ok, full, closed int64
+	rt.Run(func(vp *VProc) {
+		for i := 0; i < senders; i++ {
+			vp.Spawn(func(svp *VProc, _ Env) {
+				sawClosed := false
+				for j := 0; j < attempts; j++ {
+					m := svp.AllocRaw([]uint64{uint64(j)})
+					s := svp.PushRoot(m)
+					switch st := lane.TrySend(svp, s); st {
+					case SendOK:
+						ok++
+						if sawClosed {
+							t.Errorf("TrySend succeeded after this sender saw SendClosed")
+						}
+						// Drain our own message so the lane refills: the
+						// OK/Full boundary keeps moving under the close.
+						lane.TryRecv(svp)
+					case SendFull:
+						full++
+						if sawClosed {
+							t.Errorf("SendFull after SendClosed — the status went backwards")
+						}
+					case SendClosed:
+						closed++
+						sawClosed = true
+						if !lane.Closed() {
+							t.Errorf("SendClosed from an open lane")
+						}
+					default:
+						t.Errorf("unknown send status %v", st)
+					}
+					svp.PopRoots(1)
+					churn(svp, 60, 4)
+				}
+			})
+		}
+		vp.Spawn(func(cvp *VProc, _ Env) {
+			cvp.SleepFor(4_000)
+			lane.Close()
+		})
+	})
+	if got := ok + full + closed; got != senders*attempts {
+		t.Errorf("statuses %d+%d+%d = %d, want %d attempts", ok, full, closed, got, senders*attempts)
+	}
+	if closed == 0 {
+		t.Error("no sender observed the close; move it earlier")
+	}
+	if ok == 0 {
+		t.Error("no sender got through before the close; move it later")
+	}
+	if !lane.Closed() {
+		t.Error("lane never closed")
+	}
+	if err := rt.VerifyHeap(); err != nil {
+		t.Errorf("heap invariants: %v", err)
+	}
+}

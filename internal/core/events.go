@@ -14,7 +14,15 @@ const (
 	EvGlobalStart
 	// EvGlobalEnd marks the completion of a global collection.
 	EvGlobalEnd
+	// EvEmergency marks a vproc walking the emergency collection ladder:
+	// a mutator allocation gate found no global-heap headroom and forced
+	// a full minor → major → global escalation before retrying.
+	EvEmergency
 )
+
+// NumEventKinds is the number of distinct event kinds, for tracers that
+// aggregate counts per kind into fixed-size arrays.
+const NumEventKinds = int(EvEmergency) + 1
 
 // String names the event kind.
 func (k EventKind) String() string {
@@ -29,6 +37,8 @@ func (k EventKind) String() string {
 		return "global-start"
 	case EvGlobalEnd:
 		return "global-end"
+	case EvEmergency:
+		return "emergency"
 	default:
 		return "unknown"
 	}

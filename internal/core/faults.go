@@ -33,6 +33,13 @@ const (
 	// messages and in-flight sends observe SendClosed — the
 	// recoverable-failure path under load.
 	FaultClose
+	// FaultSqueeze rewrites the global-heap chunk budget to Budget at the
+	// deadline (0 restores an unbounded heap), injecting heap exhaustion
+	// — or relief — at a chosen virtual instant. Mutator allocation
+	// gates observe the new budget from the next TryAlloc* on; data
+	// already in the heap stays (a squeeze below current occupancy puts
+	// the heap in overdraft until collections catch up).
+	FaultSqueeze
 )
 
 // String names the kind for diagnostics.
@@ -44,6 +51,8 @@ func (k FaultKind) String() string {
 		return "burst"
 	case FaultClose:
 		return "close"
+	case FaultSqueeze:
+		return "squeeze"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -64,6 +73,9 @@ type FaultEvent struct {
 	Words int
 	// Ch is the channel to close (FaultClose).
 	Ch *Channel
+	// Budget is the global chunk budget to install (FaultSqueeze);
+	// 0 restores an unbounded heap.
+	Budget int
 }
 
 // FaultPlan is an ordered set of fault events. Build one with the chained
@@ -87,6 +99,15 @@ func (p *FaultPlan) Burst(vproc int, at int64, words int) *FaultPlan {
 // CloseAt schedules a FaultClose and returns the plan for chaining.
 func (p *FaultPlan) CloseAt(vproc int, at int64, ch *Channel) *FaultPlan {
 	p.Events = append(p.Events, FaultEvent{At: at, VProc: vproc, Kind: FaultClose, Ch: ch})
+	return p
+}
+
+// SqueezeAt schedules a FaultSqueeze and returns the plan for chaining:
+// at the deadline the global chunk budget becomes budgetChunks (0 =
+// unbounded again). Chain a second SqueezeAt to model a transient
+// squeeze-then-recover episode.
+func (p *FaultPlan) SqueezeAt(vproc int, at int64, budgetChunks int) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, VProc: vproc, Kind: FaultSqueeze, Budget: budgetChunks})
 	return p
 }
 
@@ -142,6 +163,9 @@ func (rt *Runtime) InstallFaults(p *FaultPlan) {
 		if e.Kind == FaultClose && e.Ch == nil {
 			panic(fmt.Sprintf("core: fault event %d closes a nil channel", i))
 		}
+		if e.Kind == FaultSqueeze && e.Budget < 0 {
+			panic(fmt.Sprintf("core: fault event %d squeezes to negative budget %d", i, e.Budget))
+		}
 		rt.VProcs[e.VProc].timers.Add(e.At, e)
 	}
 }
@@ -168,6 +192,11 @@ func (vp *VProc) runPendingFaults() {
 			vp.faultBurst(e.Words)
 		case FaultClose:
 			e.Ch.Close()
+		case FaultSqueeze:
+			vp.rt.Chunks.BudgetChunks = e.Budget
+			// The budget changed under the fail-fast state; re-arm the
+			// ladder so the next gate re-evaluates from scratch.
+			vp.rt.ladderFailed = false
 		default:
 			panic(fmt.Sprintf("core: unknown fault kind %d", e.Kind))
 		}

@@ -155,6 +155,9 @@ func (vp *VProc) globalCollect() {
 		g.pending = false
 		g.scanning = false
 		rt.Stats.GlobalGCs++
+		// Active chunkage right after a full collection is the survived
+		// set — the occupancy floor no amount of collecting gets below.
+		rt.Stats.LastGlobalSurvivedWords = rt.Chunks.AllocatedWords
 		rt.Stats.GlobalCopied += g.copied
 		rt.Stats.GlobalNs += vp.Now() - g.startNs
 		rt.emit(GCEvent{Kind: EvGlobalEnd, VProc: vp.ID, At: vp.Now(), Ns: vp.Now() - g.startNs, Words: g.copied})

@@ -45,6 +45,17 @@ type Runtime struct {
 	// collector updates them in place.
 	globalRoots []*heap.Addr
 
+	// Emergency-ladder fail-fast state (see ensureGlobalHeadroom): after
+	// a full escalation fails to free headroom, further TryAlloc* calls
+	// fail immediately until a global collection has run or the heap has
+	// grown by at least two chunks — both deterministic signals that the
+	// ladder might succeed now. Without this, every failed allocation
+	// would re-run a stop-the-world ladder and the run would thrash.
+	ladderFailed        bool
+	ladderFailGlobalGCs int
+	ladderFailAllocated int
+	ladderFailNs        int64
+
 	Stats RTStats
 }
 
@@ -74,6 +85,49 @@ type RTStats struct {
 	GlobalNs         int64 // virtual wall time spent in global collections
 	ChunksFromSpace  int
 	CrossNodeScanned int // chunks scanned by a vproc on another node
+	// LastGlobalSurvivedWords is the active global chunkage immediately
+	// after the most recent global collection — the post-GC survival
+	// component of the occupancy signal. Zero until the first global GC.
+	LastGlobalSurvivedWords int
+}
+
+// MemPressure is the runtime's deterministic occupancy signal, sampled on
+// demand (admission gates read it at request arrival, which is a
+// safepoint-aligned instant in the simulation). All fields are exact
+// counters, not estimates, so two runs of the same schedule read the same
+// values.
+type MemPressure struct {
+	// ActiveChunks / BudgetChunks is the occupancy ratio; BudgetChunks
+	// is 0 when the heap is unbounded (occupancy then has no ceiling).
+	ActiveChunks int
+	BudgetChunks int
+	// SurvivedWords is the active chunkage right after the last global
+	// collection: memory even a full collection could not reclaim.
+	SurvivedWords int
+	// Overdrafts counts chunk activations past the budget (collections
+	// completing mid-copy); AllocFailed counts mutator allocations that
+	// failed after the emergency ladder; EmergencyGCs counts ladder
+	// walks.
+	Overdrafts   int
+	AllocFailed  int64
+	EmergencyGCs int64
+}
+
+// MemPressure returns the current occupancy/pressure counters.
+func (rt *Runtime) MemPressure() MemPressure {
+	var failed, emerg int64
+	for _, vp := range rt.VProcs {
+		failed += vp.Stats.AllocFailed
+		emerg += vp.Stats.EmergencyGCs
+	}
+	return MemPressure{
+		ActiveChunks:  rt.Chunks.ActiveChunks(),
+		BudgetChunks:  rt.Chunks.BudgetChunks,
+		SurvivedWords: rt.Stats.LastGlobalSurvivedWords,
+		Overdrafts:    rt.Chunks.Overdrafts,
+		AllocFailed:   failed,
+		EmergencyGCs:  emerg,
+	}
 }
 
 // NewRuntime builds a runtime from the configuration. Descriptor
@@ -94,6 +148,8 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	rt.Chunks = heap.NewChunkManager(rt.Space, cfg.ChunkWords, cfg.Topo.NumNodes())
 	rt.Chunks.NodeAffine = cfg.NodeAffineChunks
 	rt.Chunks.Debug = cfg.Debug
+	rt.Chunks.BudgetChunks = cfg.GlobalBudgetChunks
+	rt.Chunks.VProcBudget = cfg.VProcChunkBudget
 
 	cores := cfg.Topo.SparseCoreAssignment(cfg.NumVProcs)
 	for i := 0; i < cfg.NumVProcs; i++ {
@@ -246,6 +302,8 @@ func (rt *Runtime) TotalStats() VPStats {
 		t.FaultsInjected += vp.Stats.FaultsInjected
 		t.FaultStallNs += vp.Stats.FaultStallNs
 		t.FaultBurstWords += vp.Stats.FaultBurstWords
+		t.AllocFailed += vp.Stats.AllocFailed
+		t.EmergencyGCs += vp.Stats.EmergencyGCs
 	}
 	return t
 }

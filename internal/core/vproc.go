@@ -108,6 +108,8 @@ type VPStats struct {
 	FaultsInjected  int64 // fault-plan events executed on this vproc
 	FaultStallNs    int64 // virtual time spent in injected stalls
 	FaultBurstWords int64 // words allocated by injected heap-pressure bursts
+	AllocFailed     int64 // TryAlloc*/TryPromote failures after the emergency ladder
+	EmergencyGCs    int64 // emergency collection ladders walked by this vproc
 }
 
 // Runtimer accessors.

@@ -28,8 +28,26 @@ type ChunkManager struct {
 	// double-activation); set by the runtime's Debug mode.
 	Debug bool
 
+	// BudgetChunks caps the number of simultaneously active chunks in
+	// the global heap; 0 means unbounded (the paper's model, and the
+	// behavior every existing baseline was recorded under). The budget
+	// is advisory at this layer: Get never fails, it only reports the
+	// overdraft, so collections — which must be able to copy survivors
+	// — always complete. Enforcement happens at mutator allocation
+	// gates in internal/core, which consult HasHeadroom before
+	// committing new work to the heap.
+	BudgetChunks int
+	// VProcBudget caps the active chunks owned by any single vproc (a
+	// per-vproc share of the global heap, since local heaps themselves
+	// are fixed-size and cannot grow); 0 means unbounded.
+	VProcBudget int
+
 	freeByNode [][]*Chunk
 	active     []*Chunk
+	// ownedActive[v] counts active chunks owned by vproc v; maintained
+	// only so HasHeadroom can enforce VProcBudget. Reset wholesale by
+	// TakeActive and rebuilt by activate/Reactivate.
+	ownedActive []int
 	// byRegion maps region ID → chunk, dense: region IDs are assigned
 	// sequentially by the Space, so a slice indexed by ID (nil for
 	// non-chunk regions) replaces the map the global collector's
@@ -45,6 +63,10 @@ type ChunkManager struct {
 	Created  int
 	Reused   int
 	Released int
+	// Overdrafts counts activations that pushed the active set past
+	// BudgetChunks — chunks handed to collectors (which may not fail
+	// mid-copy) after the mutator-visible budget was exhausted.
+	Overdrafts int
 }
 
 // NewChunkManager creates a manager producing chunks of chunkWords words.
@@ -72,8 +94,11 @@ func (m *ChunkManager) Get(reqNode, owner int) (*Chunk, SyncClass) {
 		m.Reused++
 		return c, SyncNodeLocal
 	}
-	if !m.NodeAffine {
-		// Ablation: take any free chunk, ignoring node affinity.
+	if !m.NodeAffine || (m.BudgetChunks > 0 && len(m.active) >= m.BudgetChunks) {
+		// Take any free chunk, ignoring node affinity. Two callers land
+		// here: the NodeAffine ablation, and a bounded heap at/over its
+		// budget — where reusing a remote free chunk (paying remote
+		// traffic) beats growing the footprint past the budget.
 		for n := range m.freeByNode {
 			if fl := m.freeByNode[n]; len(fl) > 0 {
 				c := fl[len(fl)-1]
@@ -120,6 +145,43 @@ func (m *ChunkManager) activate(c *Chunk) {
 	}
 	m.active = append(m.active, c)
 	m.AllocatedWords += m.ChunkWords
+	if c.Owner >= 0 {
+		for len(m.ownedActive) <= c.Owner {
+			m.ownedActive = append(m.ownedActive, 0)
+		}
+		m.ownedActive[c.Owner]++
+	}
+	if m.BudgetChunks > 0 && len(m.active) > m.BudgetChunks {
+		m.Overdrafts++
+	}
+}
+
+// HasHeadroom reports whether vproc `owner` may commit another chunk's
+// worth of data to the global heap without exceeding either the global
+// budget or its own per-vproc share. With both budgets at zero it is
+// always true. This is the mutator-side gate: collections bypass it
+// (they overdraft via Get, which never fails).
+func (m *ChunkManager) HasHeadroom(owner int) bool {
+	if m.BudgetChunks > 0 && len(m.active) >= m.BudgetChunks {
+		return false
+	}
+	if m.VProcBudget > 0 && owner >= 0 && owner < len(m.ownedActive) &&
+		m.ownedActive[owner] >= m.VProcBudget {
+		return false
+	}
+	return true
+}
+
+// ActiveChunks returns the number of active (data-bearing) chunks — the
+// numerator of the occupancy signal when BudgetChunks > 0.
+func (m *ChunkManager) ActiveChunks() int { return len(m.active) }
+
+// OwnedActive returns the number of active chunks owned by vproc v.
+func (m *ChunkManager) OwnedActive(v int) int {
+	if v < 0 || v >= len(m.ownedActive) {
+		return 0
+	}
+	return m.ownedActive[v]
 }
 
 // Release returns a chunk to its node's free list. It is called on
@@ -149,6 +211,9 @@ func (m *ChunkManager) TakeActive() []*Chunk {
 	a := m.active
 	m.active = nil
 	m.AllocatedWords = 0
+	for i := range m.ownedActive {
+		m.ownedActive[i] = 0
+	}
 	return a
 }
 

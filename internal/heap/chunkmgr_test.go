@@ -168,3 +168,121 @@ func TestFreeCount(t *testing.T) {
 		t.Errorf("FreeCount = %v, want [1 0 1]", fc)
 	}
 }
+
+// TestChunkBudgetHeadroom: the global budget flips HasHeadroom exactly at
+// the budget boundary, Get keeps succeeding past it (collections must
+// never fail mid-copy) while counting the overdraft, and a zero budget is
+// genuinely unbounded — never an off-by-one "budget of zero chunks".
+func TestChunkBudgetHeadroom(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 2)
+	m.BudgetChunks = 3
+	for i := 0; i < 3; i++ {
+		if !m.HasHeadroom(0) {
+			t.Fatalf("HasHeadroom = false at %d of 3 active", m.ActiveChunks())
+		}
+		m.Get(0, 0)
+	}
+	if m.HasHeadroom(0) {
+		t.Error("HasHeadroom = true with the budget exhausted")
+	}
+	if m.Overdrafts != 0 {
+		t.Errorf("Overdrafts = %d at exactly the budget, want 0", m.Overdrafts)
+	}
+	// A collector-side Get past the budget succeeds and is an overdraft.
+	if c, _ := m.Get(0, 0); c == nil {
+		t.Fatal("Get past the budget returned nil — Get must never fail")
+	}
+	if m.Overdrafts != 1 {
+		t.Errorf("Overdrafts = %d after one over-budget Get, want 1", m.Overdrafts)
+	}
+
+	// Releasing and re-collecting restores headroom: take the active set
+	// (a global collection forming from-space), reactivate fewer chunks.
+	survivors := m.TakeActive()[:2]
+	m.Reactivate(survivors)
+	if !m.HasHeadroom(0) {
+		t.Error("HasHeadroom = false at 2 of 3 after a collection")
+	}
+
+	m.BudgetChunks = 0
+	for i := 0; i < 8; i++ {
+		m.Get(0, 0)
+	}
+	if !m.HasHeadroom(0) {
+		t.Error("unbounded manager reported no headroom")
+	}
+	if m.Overdrafts != 1 {
+		t.Errorf("Overdrafts = %d under an unbounded budget, want the old 1", m.Overdrafts)
+	}
+}
+
+// TestChunkBudgetCrossNodeReuse: at the budget, a node-affine manager
+// prefers reusing a remote free chunk over growing the footprint with a
+// fresh allocation; under budget, affinity wins as before.
+func TestChunkBudgetCrossNodeReuse(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 4)
+	m.BudgetChunks = 2
+	c, _ := m.Get(1, 0)
+	m.Get(2, 0)
+	// Free node 1's chunk; the active set is back at 1 of 2.
+	active := m.TakeActive()
+	m.Release(c)
+	m.Reactivate(active[1:])
+
+	// Under budget: node 3 gets a fresh chunk (affinity preserved).
+	fresh, sync := m.Get(3, 0)
+	if fresh == c || sync != SyncGlobal {
+		t.Error("under budget, a node-affine manager should allocate fresh")
+	}
+	// At the budget: node 3 reuses node 1's free chunk instead of growing.
+	active = m.TakeActive()
+	m.Release(fresh)
+	m.Reactivate(active)
+	m.Get(0, 0) // back to 2 of 2 active
+	r, sync := m.Get(3, 0)
+	if (r != c && r != fresh) || sync != SyncNodeLocal {
+		t.Error("at the budget, the manager should reuse a remote free chunk")
+	}
+}
+
+// TestChunkVProcBudgetOwnedActive: the per-vproc budget gates only its
+// owner, the owned-active counters follow activation, and TakeActive /
+// Reactivate — a global collection's chunk churn — rebuild them exactly.
+func TestChunkVProcBudgetOwnedActive(t *testing.T) {
+	m := newTestManager(mempage.PolicyLocal, 2)
+	m.VProcBudget = 2
+	m.Get(0, 0)
+	m.Get(0, 0)
+	m.Get(1, 1)
+	if got := m.OwnedActive(0); got != 2 {
+		t.Errorf("OwnedActive(0) = %d, want 2", got)
+	}
+	if m.HasHeadroom(0) {
+		t.Error("vproc 0 at its budget still has headroom")
+	}
+	if !m.HasHeadroom(1) {
+		t.Error("vproc 1 under its budget has no headroom")
+	}
+	// An ownerless activation (owner -1, collector infrastructure) is
+	// never charged to a vproc and never gated.
+	m.Get(0, -1)
+	if !m.HasHeadroom(-1) {
+		t.Error("ownerless caller gated by a per-vproc budget")
+	}
+
+	// A global collection: all chunks leave, vproc 0's survivors return.
+	all := m.TakeActive()
+	if got := m.OwnedActive(0); got != 0 {
+		t.Errorf("OwnedActive(0) = %d after TakeActive, want 0", got)
+	}
+	if !m.HasHeadroom(0) {
+		t.Error("no headroom with an empty active set")
+	}
+	m.Reactivate(all[:1]) // one of vproc 0's chunks survived
+	if got := m.OwnedActive(0); got != 1 {
+		t.Errorf("OwnedActive(0) = %d after Reactivate, want 1", got)
+	}
+	if !m.HasHeadroom(0) || !m.HasHeadroom(1) {
+		t.Error("headroom lost after the collection freed chunks")
+	}
+}

@@ -173,3 +173,101 @@ func TestTimerQueueRemove(t *testing.T) {
 		t.Fatal("NextDeadline reports a deadline on an empty queue")
 	}
 }
+
+// TestTimerQueueRemoveRootAndLeaf: removing the heap's root (the pending
+// minimum) repeatedly, and removing the entry sitting at the last heap
+// slot, both re-heapify correctly — NextDeadline tracks the true minimum
+// after every removal.
+func TestTimerQueueRemoveRootAndLeaf(t *testing.T) {
+	var q TimerQueue
+	deadlines := []int64{40, 20, 60, 10, 80, 30, 70, 50}
+	timers := make(map[int64]*Timer, len(deadlines))
+	for _, d := range deadlines {
+		timers[d] = q.Add(d, d)
+	}
+
+	// Peel the minimum off via Remove (never PopDue): 10, 20, 30, ...
+	expect := []int64{10, 20, 30}
+	for _, want := range expect {
+		if dl, ok := q.NextDeadline(); !ok || dl != want {
+			t.Fatalf("NextDeadline = %d, %v; want %d", dl, ok, want)
+		}
+		if !q.Remove(timers[want]) {
+			t.Fatalf("Remove(root %d) = false", want)
+		}
+	}
+	if dl, ok := q.NextDeadline(); !ok || dl != 40 {
+		t.Fatalf("NextDeadline = %d, %v after root removals; want 40", dl, ok)
+	}
+
+	// The entry added last sits at the heap's final slot when it is the
+	// maximum (50 was added last; 80 is the max — remove both orders).
+	if !q.Remove(timers[50]) || !q.Remove(timers[80]) {
+		t.Fatal("Remove of tail entries failed")
+	}
+	var got []int64
+	for tm := q.PopDue(1 << 62); tm != nil; tm = q.PopDue(1 << 62) {
+		got = append(got, tm.When)
+	}
+	want := []int64{40, 60, 70}
+	if len(got) != len(want) {
+		t.Fatalf("survivors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("survivors = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTimerQueueRemoveThenRearm: the retry-timer pattern — cancel a pending
+// timer and immediately re-add the same payload at a new deadline. The
+// re-armed timer is a fresh entry: it pops at the new deadline exactly
+// once, and the stale handle stays dead (Remove on it keeps returning
+// false, even after the rearm).
+func TestTimerQueueRemoveThenRearm(t *testing.T) {
+	var q TimerQueue
+	q.Add(25, "other")
+	stale := q.Add(10, "job")
+	if !q.Remove(stale) {
+		t.Fatal("Remove of a pending timer failed")
+	}
+	rearmed := q.Add(30, "job")
+	if q.Remove(stale) {
+		t.Error("stale handle removable after the rearm")
+	}
+
+	if tm := q.PopDue(1 << 62); tm == nil || tm.Data != "other" {
+		t.Fatalf("first pop = %v, want the untouched deadline-25 entry", tm)
+	}
+	tm := q.PopDue(1 << 62)
+	if tm == nil || tm != rearmed || tm.When != 30 || tm.Data != "job" {
+		t.Fatalf("rearmed pop = %+v, want the deadline-30 rearm", tm)
+	}
+	if q.PopDue(1<<62) != nil || q.Len() != 0 {
+		t.Fatal("queue should be empty after the rearm popped once")
+	}
+
+	// Rearm cycles on a queue that heapifies around them: cancel/re-add in
+	// a loop against live neighbours, then drain and check order.
+	for i, d := range []int64{70, 40, 90} {
+		q.Add(d, i)
+	}
+	h := q.Add(55, "cycling")
+	for _, d := range []int64{35, 95, 45} {
+		if !q.Remove(h) {
+			t.Fatalf("cycle Remove at deadline %d failed", d)
+		}
+		h = q.Add(d, "cycling")
+	}
+	var got []int64
+	for tm := q.PopDue(1 << 62); tm != nil; tm = q.PopDue(1 << 62) {
+		got = append(got, tm.When)
+	}
+	want := []int64{40, 45, 70, 90}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", got, want)
+		}
+	}
+}

@@ -16,8 +16,10 @@ import (
 // with client-side retry/backoff (AdmitQueue), or additionally drop
 // requests server-side once their deadline is unmeetable (AdmitDeadline).
 // Every request resolves exactly once — completed, expired (server nack),
-// shed at admission, or shed by a fault-plan close — so goodput, shed, and
-// retry counts always account for the full offered load.
+// shed at admission, shed by a fault-plan close, or shed by memory
+// pressure (AdmitMemory's watermark gate, or AllocFailed on a bounded
+// heap) — so goodput, shed, and retry counts always account for the full
+// offered load.
 //
 // Determinism: arrivals, payloads, and retry jitter are drawn from seeded
 // per-client/per-request streams; all bookkeeping mutates in
@@ -72,6 +74,15 @@ const (
 	// server that cannot finish a request before its deadline nacks it
 	// cheaply instead of wasting service time on a guaranteed SLO miss.
 	AdmitDeadline
+	// AdmitMemory is AdmitQueue plus memory-aware admission: when the
+	// runtime's heap-occupancy signal (core.Runtime.MemPressure) crosses
+	// MemHighPct of the chunk budget, new requests are shed at admission
+	// — immediately, with no retries, relieving allocation pressure
+	// before the emergency collection ladder has to engage — and
+	// admission reopens once occupancy falls below MemLowPct (hysteresis,
+	// so the gate does not flap at the watermark). With no budget
+	// configured the gate is inert and the policy behaves as AdmitQueue.
+	AdmitMemory
 )
 
 // String names the policy (the CLI flag vocabulary).
@@ -83,6 +94,8 @@ func (p AdmissionPolicy) String() string {
 		return "queue"
 	case AdmitDeadline:
 		return "deadline"
+	case AdmitMemory:
+		return "memory"
 	}
 	return fmt.Sprintf("AdmissionPolicy(%d)", int(p))
 }
@@ -96,8 +109,10 @@ func ParseAdmission(s string) (AdmissionPolicy, error) {
 		return AdmitQueue, nil
 	case "deadline":
 		return AdmitDeadline, nil
+	case "memory":
+		return AdmitMemory, nil
 	}
-	return 0, fmt.Errorf("workload: unknown admission policy %q (none, queue, deadline)", s)
+	return 0, fmt.Errorf("workload: unknown admission policy %q (none, queue, deadline, memory)", s)
 }
 
 // OverloadOptions configures the harness.
@@ -117,6 +132,14 @@ type OverloadOptions struct {
 	// ServiceNsPerWord is the server-side compute per payload word — the
 	// saturation knob: capacity ≈ vprocs / (mean words × this).
 	ServiceNsPerWord int64
+
+	// MemHighPct and MemLowPct are AdmitMemory's hysteresis watermarks,
+	// as percentages of the heap's chunk budget: admission closes when
+	// occupancy reaches MemHighPct and reopens when it falls below
+	// MemLowPct. Ignored by the other policies and when no budget is
+	// configured.
+	MemHighPct int
+	MemLowPct  int
 
 	// Faults, when non-nil, is installed before the run (stalls, bursts,
 	// closes — see core.FaultPlan). A close of the request lane makes every
@@ -150,6 +173,8 @@ func DefaultOverloadOptions(scale float64) OverloadOptions {
 		RetryBaseNs:      ovRetryBase,
 		RetryCapNs:       ovRetryCap,
 		ServiceNsPerWord: ovServiceNsPerWord,
+		MemHighPct:       90,
+		MemLowPct:        70,
 	}
 }
 
@@ -164,6 +189,7 @@ type OverloadResult struct {
 	Expired       int   // nacked server-side (deadline unmeetable)
 	ShedAdmission int   // given up after exhausting the retry budget
 	ShedFault     int   // lost to a fault-plan channel close
+	ShedMemory    int   // shed by the memory gate or an AllocFailed request buffer
 	Retries       int64 // re-attempts after SendFull
 
 	// WindowNs is the planned arrival horizon (the last scheduled
@@ -182,6 +208,7 @@ const (
 	ovTagExpired = 0x9E
 	ovTagShed    = 0x5E
 	ovTagFault   = 0xFA
+	ovTagMemory  = 0x3A
 )
 
 // ovState is the harness's host-side bookkeeping; all mutation happens in
@@ -203,8 +230,14 @@ type ovState struct {
 	expired       int
 	shedAdmission int
 	shedFault     int
+	shedMemory    int
 	retries       int64
 	hist          Hist
+
+	// memShedding is AdmitMemory's hysteresis state: true while the
+	// occupancy signal sits between the watermarks on the way down.
+	// Mutated only in engine-serialized task code.
+	memShedding bool
 }
 
 // ovPlan draws every arrival instant and payload shape up front, exactly
@@ -258,10 +291,45 @@ func ovArm(vp *core.VProc, st *ovState, c, r int) {
 	})
 }
 
+// memGateClosed evaluates AdmitMemory's watermark gate against the
+// runtime's occupancy signal, advancing the hysteresis state: closed at
+// MemHighPct of the budget, reopened below MemLowPct. Inert (always open)
+// when the heap is unbounded. Runs in engine-serialized task code, so the
+// state transitions are deterministic.
+func (st *ovState) memGateClosed(vp *core.VProc) bool {
+	mp := vp.Runtime().MemPressure()
+	if mp.BudgetChunks <= 0 {
+		return false
+	}
+	occ := mp.ActiveChunks * 100
+	if st.memShedding {
+		if occ < st.opt.MemLowPct*mp.BudgetChunks {
+			st.memShedding = false
+		}
+	} else if occ >= st.opt.MemHighPct*mp.BudgetChunks {
+		st.memShedding = true
+	}
+	return st.memShedding
+}
+
 // ovAttempt makes one admission attempt for request (c, r). Payload layout:
 // [client, seq, deadline, noise...] — the deadline travels with the request
 // so the server's drop decision needs no host-side side channel.
+//
+// Two memory-pressure outcomes resolve a request as ShedMemory, both
+// immediate (no retry — retrying into a full heap only deepens the
+// pressure): AdmitMemory's watermark gate is closed, or the request
+// buffer's TryAllocRaw reports AllocFailed after the emergency collection
+// ladder (any policy, once a heap budget is configured). With no budget
+// both paths are unreachable and the attempt is schedule-identical to the
+// pre-budget harness.
 func ovAttempt(vp *core.VProc, st *ovState, c, r, attempt int) {
+	if st.opt.Admission == AdmitMemory && st.memGateClosed(vp) {
+		st.shedMemory++
+		st.acc[c] += fnv1a(fnv1a(ovTagMemory, uint64(r)), uint64(attempt))
+		st.resolve()
+		return
+	}
 	words := st.words[c][r]
 	rng := newRand(latReqSeed(st.seed, c, r))
 	buf := make([]uint64, words)
@@ -269,7 +337,13 @@ func ovAttempt(vp *core.VProc, st *ovState, c, r, attempt int) {
 	for i := 3; i < words; i++ {
 		buf[i] = rng.next()
 	}
-	a := vp.AllocRaw(buf)
+	a, ast := vp.TryAllocRaw(buf)
+	if ast != core.AllocOK {
+		st.shedMemory++
+		st.acc[c] += fnv1a(fnv1a(ovTagMemory, uint64(r)), uint64(attempt)|0x100)
+		st.resolve()
+		return
+	}
 	s := vp.PushRoot(a)
 	status := st.lane.TrySend(vp, s)
 	vp.PopRoots(1)
@@ -347,6 +421,11 @@ func RunOverload(rt *core.Runtime, opt OverloadOptions) OverloadResult {
 	if opt.ServiceNsPerWord < 1 {
 		panic(fmt.Sprintf("workload: ServiceNsPerWord %d must be >= 1", opt.ServiceNsPerWord))
 	}
+	if opt.Admission == AdmitMemory &&
+		(opt.MemLowPct < 1 || opt.MemLowPct >= opt.MemHighPct || opt.MemHighPct > 100) {
+		panic(fmt.Sprintf("workload: AdmitMemory needs 1 <= MemLowPct < MemHighPct <= 100, got %d/%d",
+			opt.MemLowPct, opt.MemHighPct))
+	}
 	if opt.LaneCloseNs >= opt.MeanGapNs/2 && opt.LaneCloseNs > 0 {
 		// The earliest possible arrival is the minimum gap draw; a later
 		// close could drop accepted requests (see the Faults caveat).
@@ -406,6 +485,7 @@ func RunOverload(rt *core.Runtime, opt OverloadOptions) OverloadResult {
 		Expired:       st.expired,
 		ShedAdmission: st.shedAdmission,
 		ShedFault:     st.shedFault,
+		ShedMemory:    st.shedMemory,
 		Retries:       st.retries,
 		Hist:          st.hist,
 	}
@@ -418,7 +498,7 @@ func RunOverload(rt *core.Runtime, opt OverloadOptions) OverloadResult {
 	}
 	res.P50 = res.Hist.Quantile(50, 100)
 	res.P99 = res.Hist.Quantile(99, 100)
-	if got := res.Completed + res.Expired + res.ShedAdmission + res.ShedFault; got != res.Offered {
+	if got := res.Completed + res.Expired + res.ShedAdmission + res.ShedFault + res.ShedMemory; got != res.Offered {
 		panic(fmt.Sprintf("workload: overload accounting leak: %d resolved of %d offered", got, res.Offered))
 	}
 	return res

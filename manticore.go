@@ -56,6 +56,17 @@ type Stats = core.VPStats
 // GCEvent describes one garbage-collection phase, for tracing.
 type GCEvent = core.GCEvent
 
+// AllocStatus is the outcome of a fallible Worker.TryAlloc* / TryPromote
+// attempt under a bounded heap (Config.GlobalBudgetChunks) — allocation
+// failure as a status, never a panic.
+type AllocStatus = core.AllocStatus
+
+// Allocation statuses.
+const (
+	AllocOK     = core.AllocOK
+	AllocFailed = core.AllocFailed
+)
+
 // Topology models a NUMA machine.
 type Topology = numa.Topology
 
