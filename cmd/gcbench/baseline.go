@@ -1,10 +1,10 @@
 package main
 
-// Baseline recording and comparison. Four baseline kinds share one
+// Baseline recording and comparison. Five baseline kinds share one
 // write/compare mechanism: the throughput suite (BENCH_v*.json), the
 // open-loop latency sweep (LATENCY_v*.json), the overload sweep
-// (OVERLOAD_v*.json), and the memory-pressure sweep
-// (MEMPRESSURE_v*.json). Each kind provides a point type carrying its own
+// (OVERLOAD_v*.json), the memory-pressure sweep (MEMPRESSURE_v*.json), and
+// the rack-scale sweep (SCALE_v*.json). Each kind provides a point type carrying its own
 // identity (Key) and exact-equality contract (VirtualEq); the generic
 // helpers own the JSON envelope, the point-by-point drift report, and the
 // CI gate semantics (any virtual drift fails).
@@ -145,8 +145,9 @@ const baselineScale = 0.25
 var baselineThreads = []int{1, 24, 48}
 
 // measureBaseline runs the fixed Figure 5-7 suite at p=1/24/48 on a worker
-// pool and returns the points in deterministic order.
-func measureBaseline(workers int) ([]BaselinePoint, error) {
+// pool and returns the points in deterministic order. par is each runtime's
+// span-worker count; like -j it cannot change virtual results.
+func measureBaseline(workers, par int) ([]BaselinePoint, error) {
 	figures := []struct {
 		id     int
 		policy mempage.Policy
@@ -193,6 +194,7 @@ func measureBaseline(workers int) ([]BaselinePoint, error) {
 				}
 				cfg := core.DefaultConfig(topo, pt.Threads)
 				cfg.Policy = pol
+				cfg.SpanWorkers = par
 				rt := core.MustNewRuntime(cfg)
 				start := time.Now()
 				res := spec.Run(rt, baselineScale)
@@ -212,8 +214,8 @@ func measureBaseline(workers int) ([]BaselinePoint, error) {
 }
 
 // writeBaseline measures the fixed suite and writes the JSON baseline.
-func writeBaseline(path string, workers int) error {
-	pts, err := measureBaseline(workers)
+func writeBaseline(path string, workers, par int) error {
+	pts, err := measureBaseline(workers, par)
 	if err != nil {
 		return err
 	}
@@ -222,9 +224,9 @@ func writeBaseline(path string, workers int) error {
 
 // compareBaseline re-measures the fixed suite and fails on any virtual_ms
 // drift against the stored baseline.
-func compareBaseline(path string, workers int) error {
+func compareBaseline(path string, workers, par int) error {
 	return compareBaselineFile(path, "virtual-time", baselineScale, func() ([]BaselinePoint, error) {
-		return measureBaseline(workers)
+		return measureBaseline(workers, par)
 	})
 }
 
@@ -232,15 +234,15 @@ func compareBaseline(path string, workers int) error {
 
 // writeLatencyBaseline measures the fixed latency sweep and writes the JSON
 // baseline.
-func writeLatencyBaseline(path string, workers int, progress func(string)) error {
-	return writeBaselineFile(path, 1, 0, bench.MeasureLatency(workers, progress))
+func writeLatencyBaseline(path string, workers, par int, progress func(string)) error {
+	return writeBaselineFile(path, 1, 0, bench.MeasureLatency(workers, par, progress))
 }
 
 // compareLatencyBaseline re-measures the fixed latency sweep and fails on
 // any drift in the virtual fields (percentiles, attribution, checksums).
-func compareLatencyBaseline(path string, workers int, progress func(string)) error {
+func compareLatencyBaseline(path string, workers, par int, progress func(string)) error {
 	return compareBaselineFile(path, "latency", 0, func() ([]bench.LatencyPoint, error) {
-		return bench.MeasureLatency(workers, progress), nil
+		return bench.MeasureLatency(workers, par, progress), nil
 	})
 }
 
@@ -248,16 +250,16 @@ func compareLatencyBaseline(path string, workers int, progress func(string)) err
 
 // writeOverloadBaseline measures the fixed overload sweep and writes the
 // JSON baseline.
-func writeOverloadBaseline(path string, workers int, progress func(string)) error {
-	return writeBaselineFile(path, 1, 0, bench.MeasureOverload(bench.DefaultOverloadSweep(), workers, progress))
+func writeOverloadBaseline(path string, workers, par int, progress func(string)) error {
+	return writeBaselineFile(path, 1, 0, bench.MeasureOverload(bench.DefaultOverloadSweep(), workers, par, progress))
 }
 
 // compareOverloadBaseline re-measures the fixed overload sweep and fails on
 // any drift in the virtual fields (goodput, shed/retry/expiry accounting,
 // percentiles, checksums) — the graceful-degradation gate.
-func compareOverloadBaseline(path string, workers int, progress func(string)) error {
+func compareOverloadBaseline(path string, workers, par int, progress func(string)) error {
 	return compareBaselineFile(path, "overload", 0, func() ([]bench.OverloadPoint, error) {
-		return bench.MeasureOverload(bench.DefaultOverloadSweep(), workers, progress), nil
+		return bench.MeasureOverload(bench.DefaultOverloadSweep(), workers, par, progress), nil
 	})
 }
 
@@ -265,16 +267,42 @@ func compareOverloadBaseline(path string, workers int, progress func(string)) er
 
 // writeMempressureBaseline measures the fixed memory-pressure sweep and
 // writes the JSON baseline.
-func writeMempressureBaseline(path string, workers int, progress func(string)) error {
-	return writeBaselineFile(path, 1, 0, bench.MeasureMempressure(bench.DefaultMempressureSweep(), workers, progress))
+func writeMempressureBaseline(path string, workers, par int, progress func(string)) error {
+	return writeBaselineFile(path, 1, 0, bench.MeasureMempressure(bench.DefaultMempressureSweep(), workers, par, progress))
 }
 
 // compareMempressureBaseline re-measures the fixed memory-pressure sweep
 // and fails on any drift in the virtual fields (goodput and shed
 // accounting, emergency-GC/alloc-failure/overdraft counters, percentiles,
 // checksums) — the heap-exhaustion graceful-degradation gate.
-func compareMempressureBaseline(path string, workers int, progress func(string)) error {
+func compareMempressureBaseline(path string, workers, par int, progress func(string)) error {
 	return compareBaselineFile(path, "memory-pressure", 0, func() ([]bench.MempressurePoint, error) {
-		return bench.MeasureMempressure(bench.DefaultMempressureSweep(), workers, progress), nil
+		return bench.MeasureMempressure(bench.DefaultMempressureSweep(), workers, par, progress), nil
+	})
+}
+
+// --- Rack-scale baseline (SCALE_v1.json) -------------------------------------
+
+// writeScaleBaseline measures the fixed rack-scale sweep and writes the
+// JSON baseline. The sweep's workload scale is recorded in the envelope so
+// a mismatched binary fails before measuring.
+func writeScaleBaseline(path string, workers, par int, progress func(string)) error {
+	sw := bench.DefaultScaleSweep()
+	pts, err := bench.MeasureScale(sw, workers, par, progress)
+	if err != nil {
+		return err
+	}
+	return writeBaselineFile(path, 1, sw.Scale, pts)
+}
+
+// compareScaleBaseline re-measures the fixed rack-scale sweep and fails on
+// any drift in the virtual fields (makespans, checksums, and the
+// local/same-package/remote/far traffic split) — the gate that pins the
+// far-tier model and the span-parallel engine's bit-identical contract on
+// the largest topologies.
+func compareScaleBaseline(path string, workers, par int, progress func(string)) error {
+	sw := bench.DefaultScaleSweep()
+	return compareBaselineFile(path, "rack-scale", sw.Scale, func() ([]bench.ScalePoint, error) {
+		return bench.MeasureScale(sw, workers, par, progress)
 	})
 }

@@ -17,12 +17,16 @@
 //	gcbench -overload -loads 80000,40000 -admission deadline -fault-seed 7
 //	gcbench -mempressure              # memory-pressure sweep (bounded heaps, emergency GC, memory-aware admission)
 //	gcbench -mempressure -budgets 0,20,16 -admission memory
+//	gcbench -rackscale                # rack-scale sweep (paper machines + rack256, traffic split)
+//	gcbench -rackscale -machines rack256,rack1024 -scale 0.1
+//	gcbench -all -par 4               # ... with 4 span workers per simulation (bit-identical)
 //	gcbench -baseline BENCH_v3.json   # record a perf baseline (JSON)
 //	gcbench -compare BENCH_v3.json    # fail on any virtual-time drift
 //	gcbench -latency -baseline LATENCY_v1.json   # record the latency baseline
 //	gcbench -latency -compare LATENCY_v1.json    # latency drift gate
 //	gcbench -overload -compare OVERLOAD_v1.json  # overload drift gate
 //	gcbench -mempressure -compare MEMPRESSURE_v1.json  # memory-pressure drift gate
+//	gcbench -rackscale -compare SCALE_v1.json    # rack-scale drift gate
 package main
 
 import (
@@ -48,9 +52,11 @@ func main() {
 		latency   = flag.Bool("latency", false, "sweep the open-loop latency harness: tail latency under GC with pause attribution (fixed configuration)")
 		overload  = flag.Bool("overload", false, "sweep the overload harness: goodput/SLO vs offered load per admission policy, with faulted points")
 		mempress  = flag.Bool("mempressure", false, "sweep the memory-pressure harness: bounded-heap budget ladder per admission policy, with squeeze-fault points")
+		rackscale = flag.Bool("rackscale", false, "sweep the rack-scale harness: full-core-count makespans and NUMA traffic split on the paper machines and rack presets")
+		machines  = flag.String("machines", "", "with -rackscale: comma-separated machine presets (amd48, intel32, rack256, rack1024, rack4096; default: the fixed amd48,intel32,rack256 set)")
 		budgets   = flag.String("budgets", "", "with -mempressure: comma-separated global chunk budgets (0 = unbounded; default: the 0/32/24/16 ladder)")
 		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = default reduced sizes)")
-		machine   = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32)")
+		machine   = flag.String("machine", "amd48", "machine preset for custom sweeps (amd48, intel32, rack256, rack1024, rack4096)")
 		policy    = flag.String("policy", "local", "page placement policy (local, interleaved, single-node)")
 		threads   = flag.String("threads", "", "comma-separated thread counts for custom sweeps")
 		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: the five paper benchmarks)")
@@ -59,6 +65,7 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", bench.OverloadFaultSeed, "with -overload: seed of the faulted top-load points; with -mempressure: seed of the squeeze points (0 disables them)")
 		verbose   = flag.Bool("v", false, "print per-run progress")
 		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "sweep points to run concurrently (virtual results are identical for any value)")
+		par       = flag.Int("par", 1, "span workers per simulation: the engine drains interaction-free idle machines concurrently between conservative windows (virtual results are identical for any value)")
 		baseline  = flag.String("baseline", "", "write a perf-baseline JSON to this file (with -latency/-overload: that sweep's baseline)")
 		compare   = flag.String("compare", "", "re-run the baseline configuration and fail on any virtual drift vs this JSON file")
 	)
@@ -74,6 +81,9 @@ func main() {
 	if *workers < 1 {
 		fatal(fmt.Errorf("-j %d is not a positive worker count", *workers))
 	}
+	if *par < 1 {
+		fatal(fmt.Errorf("-par %d is not a positive span-worker count (1 = serial engine)", *par))
+	}
 	var benchNames []string
 	if *benches != "" {
 		for _, b := range strings.Split(*benches, ",") {
@@ -87,8 +97,8 @@ func main() {
 	if *figure != 0 && (*figure < 4 || *figure > 7) {
 		fatal(fmt.Errorf("-figure %d out of range: the paper's figures are 4-7", *figure))
 	}
-	if btoi(*latency)+btoi(*overload)+btoi(*mempress) > 1 {
-		fatal(fmt.Errorf("-latency, -overload, and -mempressure are mutually exclusive sweeps"))
+	if btoi(*latency)+btoi(*overload)+btoi(*mempress)+btoi(*rackscale) > 1 {
+		fatal(fmt.Errorf("-latency, -overload, -mempressure, and -rackscale are mutually exclusive sweeps"))
 	}
 
 	// The overload/mempressure knobs are validated whenever set (reject,
@@ -99,7 +109,8 @@ func main() {
 	sweep := bench.DefaultOverloadSweep()
 	sweep.FaultSeed = *faultSeed
 	mpSweep := bench.DefaultMempressureSweep()
-	var loadsSet, budgetsSet, admSet, faultSeedSet bool
+	scSweep := bench.DefaultScaleSweep()
+	var loadsSet, budgetsSet, admSet, faultSeedSet, machinesSet, scaleSet bool
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "loads":
@@ -110,6 +121,10 @@ func main() {
 			admSet = true
 		case "fault-seed":
 			faultSeedSet = true
+		case "machines":
+			machinesSet = true
+		case "scale":
+			scaleSet = true
 		}
 	})
 	if loadsSet && !*overload {
@@ -120,6 +135,22 @@ func main() {
 	}
 	if (admSet || faultSeedSet) && !*overload && !*mempress {
 		fatal(fmt.Errorf("-admission/-fault-seed only apply to the -overload and -mempressure sweeps"))
+	}
+	if machinesSet && !*rackscale {
+		fatal(fmt.Errorf("-machines only applies to the -rackscale sweep"))
+	}
+	if *machines != "" {
+		scSweep.Machines = nil
+		for _, s := range strings.Split(*machines, ",") {
+			name := strings.TrimSpace(s)
+			if _, err := numa.Preset(name); err != nil {
+				fatal(err)
+			}
+			scSweep.Machines = append(scSweep.Machines, name)
+		}
+	}
+	if scaleSet && *rackscale {
+		scSweep.Scale = *scale
 	}
 	if faultSeedSet && *mempress {
 		mpSweep.SqueezeSeed = *faultSeed
@@ -167,22 +198,32 @@ func main() {
 	if *baseline != "" && *compare != "" {
 		fatal(fmt.Errorf("-baseline and -compare are mutually exclusive"))
 	}
-	if *baseline != "" || *compare != "" || *latency || *overload || *mempress {
-		// Baselines (and the latency/overload/mempressure sweeps) are only
-		// comparable across PRs when they are always recorded at the one
-		// fixed configuration, so reject any other configuration flag rather
-		// than silently ignoring it. -j and -v are allowed: they do not
-		// change virtual results. The sweep knobs are allowed only for a
-		// custom print-mode sweep, never for a baseline.
+	if *baseline != "" || *compare != "" || *latency || *overload || *mempress || *rackscale {
+		// Baselines (and the latency/overload/mempressure/rackscale sweeps)
+		// are only comparable across PRs when they are always recorded at
+		// the one fixed configuration, so reject any other configuration
+		// flag rather than silently ignoring it. -j, -par and -v are
+		// allowed: they do not change virtual results (the engine's window
+		// scheduler is bit-identical at every -par). The sweep knobs are
+		// allowed only for a custom print-mode sweep, never for a baseline.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "baseline", "compare", "latency", "overload", "mempressure", "v", "j":
-			case "loads", "admission", "fault-seed", "budgets":
+			case "baseline", "compare", "latency", "overload", "mempressure", "rackscale", "v", "j", "par":
+			case "loads", "admission", "fault-seed", "budgets", "machines":
 				if *baseline != "" || *compare != "" {
 					fatal(fmt.Errorf("-baseline/-compare use that sweep's fixed configuration; remove -%s", f.Name))
 				}
+			case "scale":
+				// -scale configures the throughput suite and the custom
+				// -rackscale print mode; baselines pin their own scale.
+				if *baseline != "" || *compare != "" {
+					fatal(fmt.Errorf("-baseline/-compare use that sweep's fixed configuration; remove -%s", f.Name))
+				}
+				if !*rackscale {
+					fatal(fmt.Errorf("-latency/-overload/-mempressure use a fixed configuration; remove -scale"))
+				}
 			default:
-				fatal(fmt.Errorf("-baseline/-compare/-latency/-overload/-mempressure use a fixed configuration; remove -%s", f.Name))
+				fatal(fmt.Errorf("-baseline/-compare/-latency/-overload/-mempressure/-rackscale use a fixed configuration; remove -%s", f.Name))
 			}
 		})
 		var progress func(string)
@@ -191,28 +232,37 @@ func main() {
 		}
 		var err error
 		switch {
+		case *rackscale && *baseline != "":
+			err = writeScaleBaseline(*baseline, *workers, *par, progress)
+		case *rackscale && *compare != "":
+			err = compareScaleBaseline(*compare, *workers, *par, progress)
+		case *rackscale:
+			var pts []bench.ScalePoint
+			if pts, err = bench.MeasureScale(scSweep, *workers, *par, progress); err == nil {
+				fmt.Println(bench.RenderScale(pts))
+			}
 		case *mempress && *baseline != "":
-			err = writeMempressureBaseline(*baseline, *workers, progress)
+			err = writeMempressureBaseline(*baseline, *workers, *par, progress)
 		case *mempress && *compare != "":
-			err = compareMempressureBaseline(*compare, *workers, progress)
+			err = compareMempressureBaseline(*compare, *workers, *par, progress)
 		case *mempress:
-			fmt.Println(bench.RenderMempressure(mpSweep, bench.MeasureMempressure(mpSweep, *workers, progress)))
+			fmt.Println(bench.RenderMempressure(mpSweep, bench.MeasureMempressure(mpSweep, *workers, *par, progress)))
 		case *overload && *baseline != "":
-			err = writeOverloadBaseline(*baseline, *workers, progress)
+			err = writeOverloadBaseline(*baseline, *workers, *par, progress)
 		case *overload && *compare != "":
-			err = compareOverloadBaseline(*compare, *workers, progress)
+			err = compareOverloadBaseline(*compare, *workers, *par, progress)
 		case *overload:
-			fmt.Println(bench.RenderOverload(bench.MeasureOverload(sweep, *workers, progress)))
+			fmt.Println(bench.RenderOverload(bench.MeasureOverload(sweep, *workers, *par, progress)))
 		case *latency && *baseline != "":
-			err = writeLatencyBaseline(*baseline, *workers, progress)
+			err = writeLatencyBaseline(*baseline, *workers, *par, progress)
 		case *latency && *compare != "":
-			err = compareLatencyBaseline(*compare, *workers, progress)
+			err = compareLatencyBaseline(*compare, *workers, *par, progress)
 		case *latency:
-			fmt.Println(bench.RenderLatency(bench.MeasureLatency(*workers, progress)))
+			fmt.Println(bench.RenderLatency(bench.MeasureLatency(*workers, *par, progress)))
 		case *baseline != "":
-			err = writeBaseline(*baseline, *workers)
+			err = writeBaseline(*baseline, *workers, *par)
 		default:
-			err = compareBaseline(*compare, *workers)
+			err = compareBaseline(*compare, *workers, *par)
 		}
 		if err != nil {
 			fatal(err)
@@ -220,7 +270,7 @@ func main() {
 		return
 	}
 
-	opt := bench.Options{Scale: *scale, Workers: *workers}
+	opt := bench.Options{Scale: *scale, Workers: *workers, Par: *par}
 	if *verbose {
 		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	machine := flag.String("machine", "amd48", "machine preset (amd48, intel32)")
+	machine := flag.String("machine", "amd48", "machine preset (amd48, intel32, rack256, rack1024, rack4096)")
 	ascii := flag.Bool("ascii", true, "render the interconnect diagram")
 	flag.Parse()
 
@@ -26,6 +26,10 @@ func main() {
 
 	fmt.Printf("Machine %s: %d packages x %d nodes x %d cores = %d cores @ %.3f GHz\n",
 		topo.Name, topo.Packages, topo.NodesPerPackage, topo.CoresPerNode, topo.NumCores(), topo.GHz)
+	if topo.Boards() > 1 {
+		fmt.Printf("Boards: %d x %d packages, linked at %.1f GB/s / %.0f ns (the far tier)\n",
+			topo.Boards(), topo.PackagesPerBoard, topo.FarBW, topo.FarLat)
+	}
 	fmt.Printf("L3 per node: %d MB (usable)\n\n", topo.L3Bytes>>20)
 	fmt.Println(m.BandwidthTable())
 
@@ -51,9 +55,18 @@ func renderDiagram(t *numa.Topology) string {
 		fmt.Fprintf(&b, "                 %4.1f GB/s QPI links, fully connected to the other %d packages\n",
 			t.RemoteBW, t.Packages-1)
 	}
+	if t.Boards() > 1 {
+		fmt.Fprintf(&b, "\n  %d boards of %d packages each, joined by a %4.1f GB/s switched link (%.0f ns):\n",
+			t.Boards(), t.PackagesPerBoard, t.FarBW, t.FarLat)
+		fmt.Fprintf(&b, "  cross-board accesses ride the local controller, the remote ingress, and the board ingress.\n")
+	}
 	b.WriteString("\nNode map:\n")
 	for _, n := range t.Nodes() {
-		fmt.Fprintf(&b, "  node %d (package %d): cores %v\n", n.ID, n.Package, n.Cores)
+		if t.Boards() > 1 {
+			fmt.Fprintf(&b, "  node %d (board %d, package %d): cores %v\n", n.ID, t.BoardOfNode(n.ID), n.Package, n.Cores)
+		} else {
+			fmt.Fprintf(&b, "  node %d (package %d): cores %v\n", n.ID, n.Package, n.Cores)
+		}
 	}
 	return b.String()
 }

@@ -138,8 +138,10 @@ func LatencyPoints() []LatencyPoint {
 
 // MeasureLatency runs the full sweep on a worker pool. Points are
 // independent deterministic simulations, so the virtual fields are identical
-// for any worker count; progress lines stream in completion order.
-func MeasureLatency(workers int, progress func(string)) []LatencyPoint {
+// for any worker count and any span-worker count par (the engine's window
+// scheduler is bit-identical at every parallelism); progress lines stream in
+// completion order.
+func MeasureLatency(workers, par int, progress func(string)) []LatencyPoint {
 	pts := LatencyPoints()
 	if workers < 1 {
 		workers = 1
@@ -170,7 +172,9 @@ func MeasureLatency(workers int, progress func(string)) []LatencyPoint {
 			defer wg.Done()
 			for i := range jobs {
 				pt := &pts[i]
-				rt := core.MustNewRuntime(LatencyConfig(topos[i], pols[i], pt.Threads))
+				cfg := LatencyConfig(topos[i], pols[i], pt.Threads)
+				cfg.SpanWorkers = par
+				rt := core.MustNewRuntime(cfg)
 				start := time.Now()
 				res := workload.RunLatency(rt, LatencyOptionsFor(pt.MeanGapNs))
 				pt.WallNs = time.Since(start).Nanoseconds()

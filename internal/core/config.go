@@ -99,6 +99,13 @@ type Config struct {
 
 	// Seed makes randomized workloads deterministic.
 	Seed uint64
+
+	// SpanWorkers is the host-worker count of the engine's span-parallel
+	// window scheduler (vtime.Engine.SetParallel). 0 or 1 runs the serial
+	// engine; N >= 2 runs interaction-free idle machines on N host workers
+	// between conservative windows. Virtual results are bit-identical for
+	// every value — the knob trades host CPU for wall clock only.
+	SpanWorkers int
 }
 
 // DefaultConfig returns a configuration with the paper's defaults at a
@@ -162,6 +169,9 @@ func (c *Config) normalize() error {
 	}
 	if c.VProcChunkBudget < 0 {
 		return fmt.Errorf("core: VProcChunkBudget %d negative", c.VProcChunkBudget)
+	}
+	if c.SpanWorkers < 0 {
+		return fmt.Errorf("core: SpanWorkers %d negative", c.SpanWorkers)
 	}
 	if c.GlobalBudgetChunks > 0 && c.GlobalBudgetChunks < c.NumVProcs {
 		// Every vproc must be able to hold at least one global chunk or

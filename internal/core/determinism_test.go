@@ -27,13 +27,18 @@ type runResult struct {
 }
 
 func runWorkloadOnce(t *testing.T, name string, nv int, policy mempage.Policy, scale float64) runResult {
+	return runWorkloadPar(t, numa.AMD48(), name, nv, policy, scale, 0)
+}
+
+func runWorkloadPar(t *testing.T, topo *numa.Topology, name string, nv int, policy mempage.Policy, scale float64, spanWorkers int) runResult {
 	t.Helper()
 	spec, err := workload.ByName(name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := core.DefaultConfig(numa.AMD48(), nv)
+	cfg := core.DefaultConfig(topo, nv)
 	cfg.Policy = policy
+	cfg.SpanWorkers = spanWorkers
 	rt := core.MustNewRuntime(cfg)
 	res := spec.Run(rt, scale)
 	out := runResult{
@@ -90,6 +95,49 @@ func TestDeterministicRerun(t *testing.T) {
 			for i := range a.perVProc {
 				if a.perVProc[i] != b.perVProc[i] {
 					t.Errorf("vproc %d stats diverged:\n  %+v\n  %+v", i, a.perVProc[i], b.perVProc[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSpanWorkersBitIdentical runs full workloads under the serial engine
+// and under the span-parallel window scheduler and asserts every virtual
+// result — makespan, checksum, global and per-vproc statistics — is
+// bit-identical. SpanWorkers is the one engine knob that is allowed to
+// change wall-clock time only; this is the core-layer enforcement of that
+// contract, including on a boarded rack topology where idle sweeps cross
+// the far tier.
+func TestSpanWorkersBitIdentical(t *testing.T) {
+	cases := []struct {
+		topo   func() *numa.Topology
+		name   string
+		nv     int
+		policy mempage.Policy
+		scale  float64
+	}{
+		{numa.AMD48, "barnes-hut", 24, mempage.PolicyLocal, 0.125},
+		{numa.AMD48, "server", 12, mempage.PolicyInterleaved, 0.5},
+		{numa.AMD48, "latency", 16, mempage.PolicyLocal, 0.25},
+		{numa.Rack256, "quicksort", 64, mempage.PolicySingleNode, 0.125},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			serial := runWorkloadPar(t, tc.topo(), tc.name, tc.nv, tc.policy, tc.scale, 0)
+			for _, par := range []int{2, 4} {
+				got := runWorkloadPar(t, tc.topo(), tc.name, tc.nv, tc.policy, tc.scale, par)
+				if serial.elapsedNs != got.elapsedNs || serial.makespan != got.makespan || serial.check != got.check {
+					t.Errorf("par %d: elapsed/makespan/check diverged: (%d,%d,%#x) vs (%d,%d,%#x)",
+						par, serial.elapsedNs, serial.makespan, serial.check, got.elapsedNs, got.makespan, got.check)
+				}
+				if serial.global != got.global {
+					t.Errorf("par %d: runtime stats diverged:\n  %+v\n  %+v", par, serial.global, got.global)
+				}
+				for i := range serial.perVProc {
+					if serial.perVProc[i] != got.perVProc[i] {
+						t.Errorf("par %d: vproc %d stats diverged:\n  %+v\n  %+v", par, i, serial.perVProc[i], got.perVProc[i])
+					}
 				}
 			}
 		})

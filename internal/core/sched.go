@@ -276,6 +276,7 @@ const (
 	sweepJoinDone         // the joined task completed
 	sweepExhausted        // one-shot sweep found nothing (trySteal)
 	sweepFault            // a fault-plan event came due (run it off-machine)
+	sweepTimer            // a timer deadline was reached (fire it off-machine, re-enter)
 )
 
 // sweep runs the vproc's steal-probe machine — and, unless oneShot, the
@@ -300,11 +301,25 @@ const (
 //
 // The machine enters at sweep-start: the caller has already performed the
 // current iteration's loop-top checks on its own goroutine.
+//
+// Span safety: the machine parks via SpanWhile — every observation it makes
+// (join.done, the preemption flag, timer deadlines, fault and queue sizes,
+// victims' heapBusy/queue) is of state only goroutine-bound procs mutate,
+// which is frozen while a window runs; every write (k, outcome, victim, the
+// failed-steal counter, the limit restore) is vproc-private and covered by
+// the save/restore checkpoint. The one loop-top action that mutates shared
+// state, firing a due timer (it enqueues into vp.queue, which other vprocs'
+// steal probes observe), is hoisted out of the machine: the step exits with
+// sweepTimer at the exact deadline instant, the timer fires on the vproc's
+// own goroutine, and the machine re-enters at its loop top at the same
+// instant — the same charge/observe sequence as firing inline, since firing
+// only enqueues (it cannot complete joins, raise preemption, or zero
+// limits).
 func (vp *VProc) sweep(join *Task, oneShot bool) (outcome int, victim *VProc) {
 	rt := vp.rt
 	n := len(rt.VProcs)
 	k := 0
-	vp.proc.StepWhile(func() (int64, bool) {
+	fn := func() (int64, bool) {
 		if k < 0 {
 			// Loop top, reached after a poll charge: the same checks
 			// the goroutine loop performs between iterations.
@@ -319,8 +334,9 @@ func (vp *VProc) sweep(join *Task, oneShot bool) (outcome int, victim *VProc) {
 				outcome = sweepPreempt
 				return 0, true
 			}
-			if vp.timers.Len() != 0 {
-				vp.fireDueTimers()
+			if dl, ok := vp.timers.NextDeadline(); ok && dl <= vp.Now() {
+				outcome = sweepTimer
+				return 0, true
 			}
 			if len(vp.pendingFaults) != 0 {
 				// Fault bodies advance and allocate, which is illegal
@@ -359,8 +375,32 @@ func (vp *VProc) sweep(join *Task, oneShot bool) (outcome int, victim *VProc) {
 		}
 		k = -1
 		return vp.sweepCharge(rt.Cfg.PollNs, &k), false
-	})
-	return outcome, victim
+	}
+	var savedK, savedOutcome, savedLimit int
+	var savedVictim *VProc
+	var savedFailed int64
+	save := func() {
+		savedK, savedOutcome, savedVictim = k, outcome, victim
+		savedFailed = vp.Stats.FailedSteals
+		savedLimit = vp.Local.Limit
+	}
+	restore := func() {
+		k, outcome, victim = savedK, savedOutcome, savedVictim
+		vp.Stats.FailedSteals = savedFailed
+		vp.Local.Limit = savedLimit
+	}
+	for {
+		vp.proc.SpanWhile(fn, save, restore)
+		if outcome != sweepTimer {
+			return outcome, victim
+		}
+		// A deadline was reached mid-sweep: fire it here, off-machine,
+		// then re-enter at the loop top at the same virtual instant to
+		// re-run the remaining checks and find the continuation in the
+		// queue.
+		vp.fireDueTimers()
+		k = -1
+	}
 }
 
 // sweepCharge clamps an idle-machine charge to the vproc's earliest timer

@@ -48,6 +48,7 @@ type Machine struct {
 
 	ctrl   []meter // per-node memory-controller demand
 	remote []meter // per-node ingress demand from other packages
+	far    []meter // per-node ingress demand from other boards
 
 	// --- Precomputed tables (see rebuild) ---
 
@@ -58,7 +59,7 @@ type Machine struct {
 	pathTab []uint8
 	// pathCost holds the per-path latency and bandwidth constants from
 	// Table 1, indexed by PathKind.
-	pathCost [3]pathParam
+	pathCost [4]pathParam
 	// accessTab/streamTab hold, per path and word count i (flattened as
 	// [path*tabWords+i]), the rounded cost of an uncontended (mult == 1)
 	// transfer of i*8 bytes next to the float demand the meters
@@ -72,22 +73,24 @@ type Machine struct {
 	streamTabF      []float64
 	cacheAccessTabI []int64
 	cacheStreamTabI []int64
-	// ctrlBudget and remoteBudget are the per-epoch byte budgets of the
-	// home memory controller and the remote ingress links.
+	// ctrlBudget, remoteBudget and farBudget are the per-epoch byte
+	// budgets of the home memory controller, the remote ingress links,
+	// and the inter-board ingress links (boarded topologies only).
 	ctrlBudget   float64
 	remoteBudget float64
+	farBudget    float64
 	// cacheLat and cacheBW model an L3 hit (the meterless path).
 	cacheLat float64
 	cacheBW  float64
 
 	// Traffic accumulators. Accumulation is branch-free: every charge adds
-	// its bytes and bumps its count at a single computed index — 0..2 are
-	// the PathKinds, 3 (cacheIdx) is own-cache traffic — and Stats
+	// its bytes and bumps its count at a single computed index — 0..3 are
+	// the PathKinds, 4 (cacheIdx) is own-cache traffic — and Stats
 	// assembles the public TrafficStats shape on demand. Counts are kept
 	// per slot (instead of one shared counter) so back-to-back charges on
 	// different paths do not serialize on one read-modify-write chain.
-	bytesAcc [4]uint64
-	countAcc [4]uint64
+	bytesAcc [5]uint64
+	countAcc [5]uint64
 }
 
 // pathParam is one row of the per-path cost table.
@@ -104,7 +107,7 @@ type costEntry struct {
 }
 
 // cacheIdx is the bytesAcc slot for own-cache (meterless) traffic.
-const cacheIdx = 3
+const cacheIdx = 4
 
 // tabWords bounds the precomputed cost tables: transfers of up to
 // tabWords*8 bytes with a word-multiple size — which is every GC and
@@ -134,7 +137,7 @@ type meter struct {
 
 // TrafficStats aggregates modelled traffic, for reports and tests.
 type TrafficStats struct {
-	BytesByPath [3]uint64 // indexed by PathKind
+	BytesByPath [4]uint64 // indexed by PathKind
 	CacheBytes  uint64
 	Accesses    uint64
 }
@@ -160,13 +163,18 @@ func (m *Machine) rebuild() {
 			m.pathTab[core*m.nNodes+node] = uint8(t.Path(core, node))
 		}
 	}
-	m.accessTab = make([]costEntry, 3*tabWords)
-	m.streamTab = make([]costEntry, 3*tabWords)
-	m.accessTabF = make([]float64, 3*tabWords)
-	m.streamTabF = make([]float64, 3*tabWords)
-	for _, p := range []PathKind{PathLocal, PathSamePackage, PathRemote} {
+	m.accessTab = make([]costEntry, 4*tabWords)
+	m.streamTab = make([]costEntry, 4*tabWords)
+	m.accessTabF = make([]float64, 4*tabWords)
+	m.streamTabF = make([]float64, 4*tabWords)
+	for _, p := range []PathKind{PathLocal, PathSamePackage, PathRemote, PathFar} {
 		lat, bw := t.Latency(p), t.Bandwidth(p)
 		m.pathCost[p] = pathParam{lat: lat, bw: bw}
+		if bw <= 0 {
+			// Single-board machine: PathFar is never classified, so its
+			// table rows stay zero rather than dividing by zero.
+			continue
+		}
 		for i := 1; i < tabWords; i++ {
 			demand := float64(i * 8)
 			if demand < lineBytes {
@@ -186,10 +194,12 @@ func (m *Machine) rebuild() {
 	}
 	m.ctrlBudget = t.LocalBW * float64(m.EpochNs)
 	m.remoteBudget = t.RemoteBW * float64(m.EpochNs)
+	m.farBudget = t.FarBW * float64(m.EpochNs)
 	m.cacheLat = t.CacheLat
 	m.cacheBW = t.CacheBW
 	m.ctrl = make([]meter, m.nNodes)
 	m.remote = make([]meter, m.nNodes)
+	m.far = make([]meter, m.nNodes)
 }
 
 // Reset clears contention state and traffic statistics.
@@ -197,17 +207,18 @@ func (m *Machine) Reset() {
 	for i := range m.ctrl {
 		m.ctrl[i] = meter{}
 		m.remote[i] = meter{}
+		m.far[i] = meter{}
 	}
-	m.bytesAcc = [4]uint64{}
-	m.countAcc = [4]uint64{}
+	m.bytesAcc = [5]uint64{}
+	m.countAcc = [5]uint64{}
 }
 
 // Stats returns a copy of the accumulated traffic statistics.
 func (m *Machine) Stats() TrafficStats {
 	return TrafficStats{
-		BytesByPath: [3]uint64{m.bytesAcc[0], m.bytesAcc[1], m.bytesAcc[2]},
+		BytesByPath: [4]uint64{m.bytesAcc[0], m.bytesAcc[1], m.bytesAcc[2], m.bytesAcc[3]},
 		CacheBytes:  m.bytesAcc[cacheIdx],
-		Accesses:    m.countAcc[0] + m.countAcc[1] + m.countAcc[2] + m.countAcc[cacheIdx],
+		Accesses:    m.countAcc[0] + m.countAcc[1] + m.countAcc[2] + m.countAcc[3] + m.countAcc[cacheIdx],
 	}
 }
 
@@ -275,23 +286,27 @@ func (m *Machine) AccessCost(now int64, core, memNode, bytes int, kind AccessKin
 			mt := &m.ctrl[memNode]
 			if uint64(now-mt.epochStart) < uint64(m.EpochNs) && mt.bytes <= m.ctrlBudget {
 				e := &m.accessTab[uint(p&3)*tabWords+ub>>3]
-				if p != uint8(PathRemote) {
+				if p < uint8(PathRemote) {
 					m.countAcc[p&3]++
 					m.bytesAcc[p&3] += uint64(bytes)
 					mt.bytes += e.demand
 					return e.costI
 				}
-				// Remote transfers also ride the ingress meter; the
-				// fast path applies only when that one is under
-				// budget too (nothing is mutated before the bail).
-				rmt := &m.remote[memNode]
-				if uint64(now-rmt.epochStart) < uint64(m.EpochNs) && rmt.bytes <= m.remoteBudget {
-					m.countAcc[p&3]++
-					m.bytesAcc[p&3] += uint64(bytes)
-					mt.bytes += e.demand
-					rmt.bytes += e.demand
-					return e.costI
+				if p == uint8(PathRemote) {
+					// Remote transfers also ride the ingress meter; the
+					// fast path applies only when that one is under
+					// budget too (nothing is mutated before the bail).
+					rmt := &m.remote[memNode]
+					if uint64(now-rmt.epochStart) < uint64(m.EpochNs) && rmt.bytes <= m.remoteBudget {
+						m.countAcc[p&3]++
+						m.bytesAcc[p&3] += uint64(bytes)
+						mt.bytes += e.demand
+						rmt.bytes += e.demand
+						return e.costI
+					}
 				}
+				// PathFar rides three meters (controller, remote ingress,
+				// board ingress); it always takes the full route.
 			}
 		}
 	}
@@ -332,11 +347,19 @@ func (m *Machine) accessCostSlow(now int64, core, memNode, bytes int, kind Acces
 	// DRAM access.
 	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, m.ctrlBudget)
 
-	// Remote transfers additionally contend for the target node's
-	// ingress links, whose budget is the remote path bandwidth.
-	if path == PathRemote {
+	// Remote and far transfers additionally contend for the target
+	// node's ingress links, whose budget is the remote path bandwidth;
+	// far transfers also cross the shared inter-board fabric and ride a
+	// third meter with the (much smaller) far budget. The effective
+	// multiplier is the worst queue on the route.
+	if path >= PathRemote {
 		if rm := m.remote[memNode].charge(now, m.EpochNs, demand, m.remoteBudget); rm > mult {
 			mult = rm
+		}
+	}
+	if path == PathFar {
+		if fm := m.far[memNode].charge(now, m.EpochNs, demand, m.farBudget); fm > mult {
+			mult = fm
 		}
 	}
 
@@ -391,19 +414,21 @@ func (m *Machine) StreamCost(now int64, core, memNode, bytes int, kind AccessKin
 			mt := &m.ctrl[memNode]
 			if uint64(now-mt.epochStart) < uint64(m.EpochNs) && mt.bytes <= m.ctrlBudget {
 				e := &m.streamTab[uint(p&3)*tabWords+ub>>3]
-				if p != uint8(PathRemote) {
+				if p < uint8(PathRemote) {
 					m.countAcc[p&3]++
 					m.bytesAcc[p&3] += uint64(bytes)
 					mt.bytes += e.demand
 					return e.costI
 				}
-				rmt := &m.remote[memNode]
-				if uint64(now-rmt.epochStart) < uint64(m.EpochNs) && rmt.bytes <= m.remoteBudget {
-					m.countAcc[p&3]++
-					m.bytesAcc[p&3] += uint64(bytes)
-					mt.bytes += e.demand
-					rmt.bytes += e.demand
-					return e.costI
+				if p == uint8(PathRemote) {
+					rmt := &m.remote[memNode]
+					if uint64(now-rmt.epochStart) < uint64(m.EpochNs) && rmt.bytes <= m.remoteBudget {
+						m.countAcc[p&3]++
+						m.bytesAcc[p&3] += uint64(bytes)
+						mt.bytes += e.demand
+						rmt.bytes += e.demand
+						return e.costI
+					}
 				}
 			}
 		}
@@ -429,9 +454,14 @@ func (m *Machine) streamCostSlow(now int64, core, memNode, bytes int, kind Acces
 	m.bytesAcc[path] += uint64(bytes)
 	demand := float64(bytes)
 	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, m.ctrlBudget)
-	if path == PathRemote {
+	if path >= PathRemote {
 		if rm := m.remote[memNode].charge(now, m.EpochNs, demand, m.remoteBudget); rm > mult {
 			mult = rm
+		}
+	}
+	if path == PathFar {
+		if fm := m.far[memNode].charge(now, m.EpochNs, demand, m.farBudget); fm > mult {
+			mult = fm
 		}
 	}
 	if mult > 1 {
@@ -530,5 +560,8 @@ func (m *Machine) BandwidthTable() string {
 		s += "  Node in same package      n/a\n"
 	}
 	s += fmt.Sprintf("  Node on another package %5.1f\n", t.RemoteBW)
+	if t.Boards() > 1 {
+		s += fmt.Sprintf("  Node on another board   %5.1f\n", t.FarBW)
+	}
 	return s
 }

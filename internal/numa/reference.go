@@ -16,6 +16,7 @@ type Reference struct {
 
 	ctrl   []refMeter
 	remote []refMeter
+	far    []refMeter
 
 	stats TrafficStats
 }
@@ -33,6 +34,7 @@ func NewReference(t *Topology) *Reference {
 		EpochNs: 50_000,
 		ctrl:    make([]refMeter, t.NumNodes()),
 		remote:  make([]refMeter, t.NumNodes()),
+		far:     make([]refMeter, t.NumNodes()),
 	}
 }
 
@@ -41,6 +43,7 @@ func (m *Reference) Reset() {
 	for i := range m.ctrl {
 		m.ctrl[i] = refMeter{}
 		m.remote[i] = refMeter{}
+		m.far[i] = refMeter{}
 	}
 	m.stats = TrafficStats{}
 }
@@ -100,10 +103,16 @@ func (m *Reference) AccessCost(now int64, core, memNode, bytes int, kind AccessK
 	}
 
 	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, budget)
-	if path == PathRemote {
+	if path >= PathRemote {
 		rbudget := t.RemoteBW * float64(m.EpochNs)
 		if rm := m.remote[memNode].charge(now, m.EpochNs, demand, rbudget); rm > mult {
 			mult = rm
+		}
+	}
+	if path == PathFar {
+		fbudget := t.FarBW * float64(m.EpochNs)
+		if fm := m.far[memNode].charge(now, m.EpochNs, demand, fbudget); fm > mult {
+			mult = fm
 		}
 	}
 
@@ -130,10 +139,16 @@ func (m *Reference) StreamCost(now int64, core, memNode, bytes int, kind AccessK
 	budget := t.LocalBW * float64(m.EpochNs)
 	demand := float64(bytes)
 	mult := m.ctrl[memNode].charge(now, m.EpochNs, demand, budget)
-	if path == PathRemote {
+	if path >= PathRemote {
 		rbudget := t.RemoteBW * float64(m.EpochNs)
 		if rm := m.remote[memNode].charge(now, m.EpochNs, demand, rbudget); rm > mult {
 			mult = rm
+		}
+	}
+	if path == PathFar {
+		fbudget := t.FarBW * float64(m.EpochNs)
+		if fm := m.far[memNode].charge(now, m.EpochNs, demand, fbudget); fm > mult {
+			mult = fm
 		}
 	}
 	return int64(float64(bytes) / bw * mult)

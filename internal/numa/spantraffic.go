@@ -1,0 +1,84 @@
+package numa
+
+// SpanTraffic is a per-span traffic accumulator for the engine's
+// span-parallel windows (vtime.SpanWhile). A span step may not write shared
+// simulation state, which rules out Machine.CacheAccessCost/CacheStreamCost
+// directly: those bump the machine's shared byte/op accumulators. A
+// SpanTraffic gives a span the same costs from the machine's immutable cost
+// tables — meterless cache transfers are time- and state-independent by
+// Meterless's contract — while buffering the byte/op counts privately.
+// The span checkpoints the buffer with Mark in its save hook and rewinds it
+// with Rewind in its restore hook, so a window rollback discards exactly the
+// replayed charges; the owning proc calls Flush on the serial path (after
+// the span parks) to merge the buffer into the machine's accumulators.
+// Cost values and post-Flush Stats are bit-identical to charging the same
+// sequence through the Machine directly.
+//
+// A SpanTraffic belongs to one proc; it is not safe for concurrent use.
+type SpanTraffic struct {
+	m     *Machine
+	bytes uint64
+	ops   uint64
+}
+
+// NewSpanTraffic returns an empty accumulator charging against m's tables.
+func (m *Machine) NewSpanTraffic() *SpanTraffic { return &SpanTraffic{m: m} }
+
+// SpanTrafficMark is a checkpoint of a SpanTraffic's buffered counts.
+type SpanTrafficMark struct{ bytes, ops uint64 }
+
+// Mark checkpoints the buffered counts (for the span's save hook).
+func (s *SpanTraffic) Mark() SpanTrafficMark {
+	return SpanTrafficMark{s.bytes, s.ops}
+}
+
+// Rewind restores the buffered counts to a checkpoint (for the span's
+// restore hook), discarding every charge made since Mark.
+func (s *SpanTraffic) Rewind(mk SpanTrafficMark) {
+	s.bytes, s.ops = mk.bytes, mk.ops
+}
+
+// Pending reports the buffered, not-yet-flushed byte and op counts.
+func (s *SpanTraffic) Pending() (bytes, ops uint64) { return s.bytes, s.ops }
+
+// Flush merges the buffered counts into the machine's accumulators and
+// empties the buffer. Must be called from token-holding (serial) code.
+func (s *SpanTraffic) Flush() {
+	s.m.bytesAcc[cacheIdx] += s.bytes
+	s.m.countAcc[cacheIdx] += s.ops
+	s.bytes, s.ops = 0, 0
+}
+
+// CacheAccessCost is Machine.CacheAccessCost with the stats buffered: the
+// identical table lookup and slow-path formula, so the returned cost is
+// bit-identical.
+func (s *SpanTraffic) CacheAccessCost(bytes int) int64 {
+	ub := uint(bytes)
+	if ub&7 == 0 && ub-8 <= tabWords*8-16 {
+		s.ops++
+		s.bytes += uint64(bytes)
+		return s.m.cacheAccessTabI[ub>>3]
+	}
+	if bytes <= 0 {
+		return 0
+	}
+	s.ops++
+	s.bytes += uint64(bytes)
+	return int64(s.m.cacheLat + float64(bytes)/s.m.cacheBW)
+}
+
+// CacheStreamCost is Machine.CacheStreamCost with the stats buffered.
+func (s *SpanTraffic) CacheStreamCost(bytes int) int64 {
+	ub := uint(bytes)
+	if ub&7 == 0 && ub-8 <= tabWords*8-16 {
+		s.ops++
+		s.bytes += uint64(bytes)
+		return s.m.cacheStreamTabI[ub>>3]
+	}
+	if bytes <= 0 {
+		return 0
+	}
+	s.ops++
+	s.bytes += uint64(bytes)
+	return int64(float64(bytes) / s.m.cacheBW)
+}

@@ -27,6 +27,12 @@ const (
 	PathSamePackage
 	// PathRemote is an access to a node in a different package.
 	PathRemote
+	// PathFar is an access to a node on a different board (a group of
+	// packages behind a shared inter-board link) — the extra hierarchy
+	// tier of rack-scale machines. Only meaningful when the topology
+	// declares more than one board (PackagesPerBoard > 0); classic
+	// single-board machines never classify an access as far.
+	PathFar
 )
 
 // String returns a human-readable name for the path kind.
@@ -38,6 +44,8 @@ func (k PathKind) String() string {
 		return "same-package"
 	case PathRemote:
 		return "remote"
+	case PathFar:
+		return "far"
 	default:
 		return fmt.Sprintf("PathKind(%d)", int(k))
 	}
@@ -63,13 +71,19 @@ type Topology struct {
 	NodesPerPackage int
 	// CoresPerNode counts cores per die.
 	CoresPerNode int
+	// PackagesPerBoard groups packages onto boards connected by a shared
+	// inter-board fabric, adding the far tier of rack-scale machines.
+	// 0 (or >= Packages) means a single board: no access is ever
+	// classified PathFar and the Far parameters are unused.
+	PackagesPerBoard int
 
 	// Bandwidth in bytes per nanosecond (== GB/s) for each path kind,
-	// as in Table 1 of the paper.
-	LocalBW, SamePkgBW, RemoteBW float64
+	// as in Table 1 of the paper. FarBW is the per-node share of the
+	// inter-board fabric (boarded topologies only).
+	LocalBW, SamePkgBW, RemoteBW, FarBW float64
 	// Latency in nanoseconds for each path kind (model constants; the
 	// paper reports only bandwidths, so these are calibrated).
-	LocalLat, SamePkgLat, RemoteLat float64
+	LocalLat, SamePkgLat, RemoteLat, FarLat float64
 
 	// L3Bytes is the last-level cache per node; local heaps are sized to
 	// fit in it (§3.1).
@@ -114,6 +128,24 @@ func (t *Topology) Nodes() []Node { return t.nodes }
 // PackageOfNode returns the package (socket) containing the node.
 func (t *Topology) PackageOfNode(node int) int { return t.nodes[node].Package }
 
+// Boards returns the number of boards; 1 unless PackagesPerBoard groups the
+// packages into more than one.
+func (t *Topology) Boards() int {
+	if t.PackagesPerBoard <= 0 || t.PackagesPerBoard >= t.Packages {
+		return 1
+	}
+	return (t.Packages + t.PackagesPerBoard - 1) / t.PackagesPerBoard
+}
+
+// BoardOfNode returns the board containing the node (always 0 on
+// single-board machines).
+func (t *Topology) BoardOfNode(node int) int {
+	if t.PackagesPerBoard <= 0 || t.PackagesPerBoard >= t.Packages {
+		return 0
+	}
+	return t.nodes[node].Package / t.PackagesPerBoard
+}
+
 // Path classifies an access from a core to memory homed on the given node.
 func (t *Topology) Path(core, memNode int) PathKind {
 	cn := t.coreNode[core]
@@ -122,6 +154,8 @@ func (t *Topology) Path(core, memNode int) PathKind {
 		return PathLocal
 	case t.nodes[cn].Package == t.nodes[memNode].Package:
 		return PathSamePackage
+	case t.BoardOfNode(cn) != t.BoardOfNode(memNode):
+		return PathFar
 	default:
 		return PathRemote
 	}
@@ -135,6 +169,8 @@ func (t *Topology) Bandwidth(k PathKind) float64 {
 		return t.LocalBW
 	case PathSamePackage:
 		return t.SamePkgBW
+	case PathFar:
+		return t.FarBW
 	default:
 		return t.RemoteBW
 	}
@@ -147,6 +183,8 @@ func (t *Topology) Latency(k PathKind) float64 {
 		return t.LocalLat
 	case PathSamePackage:
 		return t.SamePkgLat
+	case PathFar:
+		return t.FarLat
 	default:
 		return t.RemoteLat
 	}
@@ -228,31 +266,202 @@ func Intel32() *Topology {
 	return t
 }
 
-// Custom builds an arbitrary machine; intended for tests and what-if
-// experiments.
-func Custom(name string, packages, nodesPerPackage, coresPerNode int, localBW, samePkgBW, remoteBW float64) *Topology {
-	if packages <= 0 || nodesPerPackage <= 0 || coresPerNode <= 0 {
-		panic("numa: Custom requires positive shape parameters")
+// CustomSpec describes an arbitrary machine for NewCustom. Zero-valued
+// tuning fields take the calibrated defaults noted on each; shape and
+// bandwidth fields are mandatory.
+type CustomSpec struct {
+	Name string
+	// GHz is the core clock, for reporting. 0 means 2.0.
+	GHz float64
+
+	// Shape: all three are mandatory and must be positive.
+	Packages, NodesPerPackage, CoresPerNode int
+	// PackagesPerBoard groups packages onto boards (the far tier). 0
+	// means a single board; otherwise it must divide Packages.
+	PackagesPerBoard int
+
+	// Bandwidths in GB/s. Local, same-package and remote are mandatory;
+	// Far is mandatory exactly when the machine has more than one board.
+	LocalBW, SamePkgBW, RemoteBW, FarBW float64
+	// Latencies in ns. 0 means the calibrated defaults 65/95/135/400.
+	LocalLat, SamePkgLat, RemoteLat, FarLat float64
+
+	// L3Bytes per node; 0 means 4 MB. CacheBW/CacheLat model an L3 hit;
+	// 0 means 120 GB/s / 8 ns.
+	L3Bytes int
+	CacheBW, CacheLat float64
+}
+
+// posParam reports whether v is a usable bandwidth/latency parameter: a
+// positive finite number. Rejecting non-positive values here is what keeps
+// a mistyped spec from silently modelling infinite-speed links.
+func posParam(v float64) bool {
+	return v > 0 && v <= 1e12
+}
+
+// NewCustom builds an arbitrary machine from a validated spec; intended for
+// what-if experiments and the rack-scale presets. Every bandwidth, latency
+// and cache parameter is checked after defaulting: non-positive (or
+// non-finite) values are rejected rather than silently modelling
+// infinite-speed links or free hits.
+func NewCustom(s CustomSpec) (*Topology, error) {
+	if s.Packages <= 0 || s.NodesPerPackage <= 0 || s.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("numa: spec %q needs positive shape, got %dx%dx%d",
+			s.Name, s.Packages, s.NodesPerPackage, s.CoresPerNode)
+	}
+	if s.PackagesPerBoard < 0 {
+		return nil, fmt.Errorf("numa: spec %q has negative PackagesPerBoard %d", s.Name, s.PackagesPerBoard)
+	}
+	if s.PackagesPerBoard > 0 && s.Packages%s.PackagesPerBoard != 0 {
+		return nil, fmt.Errorf("numa: spec %q: PackagesPerBoard %d does not divide %d packages",
+			s.Name, s.PackagesPerBoard, s.Packages)
 	}
 	t := &Topology{
+		Name:             s.Name,
+		GHz:              s.GHz,
+		Packages:         s.Packages,
+		NodesPerPackage:  s.NodesPerPackage,
+		CoresPerNode:     s.CoresPerNode,
+		PackagesPerBoard: s.PackagesPerBoard,
+		LocalBW:          s.LocalBW,
+		SamePkgBW:        s.SamePkgBW,
+		RemoteBW:         s.RemoteBW,
+		FarBW:            s.FarBW,
+		LocalLat:         s.LocalLat,
+		SamePkgLat:       s.SamePkgLat,
+		RemoteLat:        s.RemoteLat,
+		FarLat:           s.FarLat,
+		L3Bytes:          s.L3Bytes,
+		CacheBW:          s.CacheBW,
+		CacheLat:         s.CacheLat,
+	}
+	if t.GHz == 0 {
+		t.GHz = 2.0
+	}
+	if t.LocalLat == 0 {
+		t.LocalLat = 65
+	}
+	if t.SamePkgLat == 0 {
+		t.SamePkgLat = 95
+	}
+	if t.RemoteLat == 0 {
+		t.RemoteLat = 135
+	}
+	if t.FarLat == 0 {
+		t.FarLat = 400
+	}
+	if t.L3Bytes == 0 {
+		t.L3Bytes = 4 << 20
+	}
+	if t.CacheBW == 0 {
+		t.CacheBW = 120
+	}
+	if t.CacheLat == 0 {
+		t.CacheLat = 8
+	}
+	check := []struct {
+		name string
+		v    float64
+	}{
+		{"GHz", t.GHz},
+		{"LocalBW", t.LocalBW},
+		{"SamePkgBW", t.SamePkgBW},
+		{"RemoteBW", t.RemoteBW},
+		{"LocalLat", t.LocalLat},
+		{"SamePkgLat", t.SamePkgLat},
+		{"RemoteLat", t.RemoteLat},
+		{"CacheBW", t.CacheBW},
+		{"CacheLat", t.CacheLat},
+		{"L3Bytes", float64(t.L3Bytes)},
+	}
+	if t.Boards() > 1 {
+		check = append(check,
+			struct {
+				name string
+				v    float64
+			}{"FarBW", t.FarBW},
+			struct {
+				name string
+				v    float64
+			}{"FarLat", t.FarLat},
+		)
+	}
+	for _, c := range check {
+		if !posParam(c.v) {
+			return nil, fmt.Errorf("numa: spec %q: %s = %g must be positive and finite", s.Name, c.name, c.v)
+		}
+	}
+	t.build()
+	return t, nil
+}
+
+// Custom builds an arbitrary single-board machine with calibrated default
+// latencies and cache parameters; intended for tests and what-if
+// experiments. Invalid parameters panic; use NewCustom for an error return
+// and access to the full spec (boards, latencies, L3).
+func Custom(name string, packages, nodesPerPackage, coresPerNode int, localBW, samePkgBW, remoteBW float64) *Topology {
+	t, err := NewCustom(CustomSpec{
 		Name:            name,
-		GHz:             2.0,
 		Packages:        packages,
 		NodesPerPackage: nodesPerPackage,
 		CoresPerNode:    coresPerNode,
 		LocalBW:         localBW,
 		SamePkgBW:       samePkgBW,
 		RemoteBW:        remoteBW,
-		LocalLat:        65,
-		SamePkgLat:      95,
-		RemoteLat:       135,
-		L3Bytes:         4 << 20,
-		CacheBW:         120,
-		CacheLat:        8,
+	})
+	if err != nil {
+		panic(err)
 	}
-	t.build()
 	return t
 }
+
+// mustCustom builds a preset whose spec is known-valid.
+func mustCustom(s CustomSpec) *Topology {
+	t, err := NewCustom(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// rackSpec carries the shared interconnect parameters of the rack-scale
+// presets: DDR4-class local memory behind sub-NUMA-cluster dies, a
+// multi-socket fabric, and a switched inter-board link whose per-node share
+// is far below any on-board path — the hierarchy tier that makes placement
+// matter even more at rack scale than it does on the paper's machines.
+func rackSpec(name string, packages, nodesPerPackage, coresPerNode, packagesPerBoard int) CustomSpec {
+	return CustomSpec{
+		Name:             name,
+		GHz:              2.5,
+		Packages:         packages,
+		NodesPerPackage:  nodesPerPackage,
+		CoresPerNode:     coresPerNode,
+		PackagesPerBoard: packagesPerBoard,
+		LocalBW:          80,
+		SamePkgBW:        60,
+		RemoteBW:         30,
+		FarBW:            12,
+		LocalLat:         90,
+		SamePkgLat:       110,
+		RemoteLat:        150,
+		FarLat:           400,
+		L3Bytes:          32 << 20,
+		CacheBW:          200,
+		CacheLat:         6,
+	}
+}
+
+// Rack256 returns a 256-core two-board machine: 2 boards x 4 packages x
+// 2 sub-NUMA-cluster dies x 16 cores.
+func Rack256() *Topology { return mustCustom(rackSpec("rack256", 8, 2, 16, 4)) }
+
+// Rack1024 returns a 1024-core four-board machine: 4 boards x 4 packages x
+// 4 dies x 16 cores.
+func Rack1024() *Topology { return mustCustom(rackSpec("rack1024", 16, 4, 16, 4)) }
+
+// Rack4096 returns a 4096-core four-board machine: 4 boards x 8 packages x
+// 4 dies x 32 cores.
+func Rack4096() *Topology { return mustCustom(rackSpec("rack4096", 32, 4, 32, 8)) }
 
 // Preset returns a named preset topology.
 func Preset(name string) (*Topology, error) {
@@ -261,7 +470,13 @@ func Preset(name string) (*Topology, error) {
 		return AMD48(), nil
 	case "intel32":
 		return Intel32(), nil
+	case "rack256":
+		return Rack256(), nil
+	case "rack1024":
+		return Rack1024(), nil
+	case "rack4096":
+		return Rack4096(), nil
 	default:
-		return nil, fmt.Errorf("numa: unknown machine preset %q (want amd48 or intel32)", name)
+		return nil, fmt.Errorf("numa: unknown machine preset %q (want amd48, intel32, rack256, rack1024 or rack4096)", name)
 	}
 }

@@ -1,0 +1,321 @@
+package vtime
+
+// Span/window scheduler: conservative time-windowed parallel execution of
+// interaction-free step machines (see the package comment in engine.go for
+// the invariant and the proof sketch). Everything here runs on the token
+// holder except spanRun.runSlice, which host workers execute on disjoint
+// spanRun/Proc state; the spanWork send and spanWG.Wait edges order the
+// coordinator's writes before the workers' reads and vice versa.
+
+import "math"
+
+const maxInt = int(^uint(0) >> 1)
+
+// spanQuota bounds the turns one runSlice executes, so a round ends even
+// when a span's park key is far away (or infinite) and newly discovered
+// exits can lower the bound between rounds. The value only affects host
+// scheduling granularity, never virtual results.
+const spanQuota = 4096
+
+// SpanStats reports the achieved parallelism of the span/window scheduler.
+// All fields are deterministic for a given simulation and worker count >= 2
+// (rounds are worker-count-independent), and all are zero at par 1.
+type SpanStats struct {
+	// Windows is the number of parallel windows run; Spans sums their
+	// participant counts (mean span width = Spans/Windows).
+	Windows int64
+	Spans   int64
+	// SpanTurns counts step turns executed on host workers, replayed
+	// turns included.
+	SpanTurns int64
+	// Close causes: the window ran to the conservative edge owned by a
+	// plain step machine (CloseEdgeStep) or a goroutine-bound proc
+	// (CloseEdgeProc), or a span exited below the edge and forced an
+	// early close (CloseExit). Interaction hot spots that kill window
+	// width show up as a high CloseExit share.
+	CloseEdgeStep int64
+	CloseEdgeProc int64
+	CloseExit     int64
+}
+
+// SpanStats returns the accumulated window counters. Like MaxClock it must
+// not be called while Run is executing procs.
+func (e *Engine) SpanStats() SpanStats { return e.spanStats }
+
+// spanRun tracks one window participant. startClock pairs with the proc's
+// spanSave checkpoint; the event fields record the first exit or panic the
+// span hit, keyed at the virtual instant of the offending turn.
+type spanRun struct {
+	p          *Proc
+	startClock int64
+	turns      int64
+	parked     bool
+	exited     bool
+	exitClock  int64
+	panicked   bool
+	panicVal   any
+	panicClock int64
+}
+
+// spanTask dispatches one bounded slice of a span to a host worker.
+type spanTask struct {
+	r          *spanRun
+	boundClock int64
+	boundID    int
+}
+
+func (e *Engine) startSpanWorkers() {
+	e.spanWork = make(chan spanTask)
+	for i := 0; i < e.par; i++ {
+		go func() {
+			for t := range e.spanWork {
+				t.r.runSlice(t.boundClock, t.boundID)
+				e.spanWG.Done()
+			}
+		}()
+	}
+}
+
+// runSlice executes up to spanQuota turns of the span while its key stays
+// lexicographically below the bound. It touches only r and r.p's private
+// state, so concurrent slices of distinct spans never race.
+func (r *spanRun) runSlice(boundClock int64, boundID int) {
+	p := r.p
+	defer func() {
+		if v := recover(); v != nil {
+			r.panicked = true
+			r.panicVal = v
+			r.panicClock = p.clock
+		}
+	}()
+	for i := 0; i < spanQuota; i++ {
+		c := p.clock
+		if c > boundClock || (c == boundClock && p.ID >= boundID) {
+			r.parked = true
+			return
+		}
+		d, done := p.step()
+		r.turns++
+		if done {
+			r.exited = true
+			r.exitClock = c
+			return
+		}
+		if d < 0 {
+			panic("vtime: negative advance")
+		}
+		p.clock = c + d
+	}
+}
+
+// runRound advances every active span one slice under a fixed bound and
+// waits for all of them. Results are independent of the worker count: each
+// slice depends only on its own span's state and the bound.
+func (e *Engine) runRound(active []*spanRun, boundClock int64, boundID int) {
+	if len(active) == 1 {
+		active[0].runSlice(boundClock, boundID)
+		return
+	}
+	e.spanWG.Add(len(active))
+	for _, r := range active {
+		e.spanWork <- spanTask{r, boundClock, boundID}
+	}
+	e.spanWG.Wait()
+}
+
+// spanWindow attempts one parallel window. Preconditions (checked by
+// dispatch): par >= 2, the heap minimum is span-parked, and at least two
+// span procs are ready.
+//
+// Returns (winner, true) when a span's step reported done below every other
+// pending key: the winner is committed exactly as the serial inline loop
+// would have committed it and is the new global minimum, ready to be
+// granted. Returns (nil, true) when the window closed at its edge with
+// every participant parked at or beyond it. Returns (nil, false) when fewer
+// than two spans lie below the edge and no window ran.
+func (e *Engine) spanWindow() (*Proc, bool) {
+	// Conservative edge E: the smallest key among ready procs that are
+	// NOT span-parked. The moment such a proc runs it may mutate shared
+	// state, so no span turn may execute at or beyond E.
+	edgeClock, edgeID := int64(math.MaxInt64), maxInt
+	var edgeStep bool
+	for _, q := range e.ready {
+		if q.span {
+			continue
+		}
+		if q.clock < edgeClock || (q.clock == edgeClock && q.ID < edgeID) {
+			edgeClock, edgeID = q.clock, q.ID
+			edgeStep = q.step != nil
+		}
+	}
+	edgeSpans := 0
+	for _, q := range e.ready {
+		if q.span && (q.clock < edgeClock || (q.clock == edgeClock && q.ID < edgeID)) {
+			edgeSpans++
+		}
+	}
+	if edgeSpans < 2 {
+		// A solo span below the edge parallelizes nothing; the caller
+		// runs it inline. Ready keys are static until a push, so
+		// re-attempting before the heap changes is wasted work.
+		e.windowStale = true
+		return nil, false
+	}
+
+	// Extract the participants, checkpoint them, and rebuild the heap
+	// from the remainder.
+	runs := e.spanRuns[:0]
+	keep := e.ready[:0]
+	for _, q := range e.ready {
+		if q.span && (q.clock < edgeClock || (q.clock == edgeClock && q.ID < edgeID)) {
+			runs = append(runs, spanRun{p: q, startClock: q.clock})
+		} else {
+			keep = append(keep, q)
+		}
+	}
+	for i := len(keep); i < len(e.ready); i++ {
+		e.ready[i] = nil
+	}
+	e.ready = keep
+	e.heapInit()
+	e.spanReady -= len(runs)
+	e.spanRuns = runs
+	for i := range runs {
+		if p := runs[i].p; p.spanSave != nil {
+			p.spanSave()
+		}
+	}
+
+	// First pass: run all spans in rounds, lowering the bound to the
+	// earliest discovered event (exit or panic) so spans stop as soon as
+	// their remaining turns could not precede it.
+	boundClock, boundID := edgeClock, edgeID
+	active := e.spanActive[:0]
+	for i := range runs {
+		active = append(active, &runs[i])
+	}
+	for len(active) > 0 {
+		e.runRound(active, boundClock, boundID)
+		for i := range runs {
+			r := &runs[i]
+			if r.exited && (r.exitClock < boundClock || (r.exitClock == boundClock && r.p.ID < boundID)) {
+				boundClock, boundID = r.exitClock, r.p.ID
+			}
+			if r.panicked && (r.panicClock < boundClock || (r.panicClock == boundClock && r.p.ID < boundID)) {
+				boundClock, boundID = r.panicClock, r.p.ID
+			}
+		}
+		na := active[:0]
+		for _, r := range active {
+			if r.exited || r.panicked || r.parked {
+				continue
+			}
+			if r.p.clock < boundClock || (r.p.clock == boundClock && r.p.ID < boundID) {
+				na = append(na, r)
+			} else {
+				r.parked = true
+			}
+		}
+		active = na
+	}
+	e.spanActive = active[:0]
+
+	e.spanStats.Windows++
+	e.spanStats.Spans += int64(len(runs))
+	defer func() {
+		for i := range runs {
+			e.spanStats.SpanTurns += runs[i].turns
+		}
+	}()
+
+	// B = (boundClock, boundID): the earliest event, or the edge if none.
+	// Events always precede the edge strictly (a turn only ran because
+	// its key was below the bound at the time), so bound == edge means no
+	// event happened and every participant parked at or beyond E.
+	if boundClock == edgeClock && boundID == edgeID {
+		for i := range runs {
+			e.heapPush(runs[i].p)
+		}
+		e.refreshHorizon()
+		if edgeStep {
+			e.spanStats.CloseEdgeStep++
+		} else {
+			e.spanStats.CloseEdgeProc++
+		}
+		return nil, true
+	}
+
+	var winner *spanRun
+	for i := range runs {
+		r := &runs[i]
+		if r.p.ID != boundID {
+			continue
+		}
+		if (r.exited && r.exitClock == boundClock) || (r.panicked && r.panicClock == boundClock) {
+			winner = r
+			break
+		}
+	}
+	if winner == nil {
+		panic("vtime: window bound lowered without a matching event")
+	}
+
+	// The winner's turns all precede B, reading frozen shared state and
+	// its own (never rolled back) private state — serially identical. If
+	// its event is a panic, the serial engine would have hit that very
+	// panic on the token holder's inline call at the same instant;
+	// re-raise it here, on the token holder.
+	if winner.panicked {
+		panic(winner.panicVal)
+	}
+
+	// A span exited below the edge: commit it as the serial inline loop
+	// would (step done at exitClock), roll every other participant back
+	// to its window-entry checkpoint, and replay below B. The replay is
+	// deterministic — shared state was frozen for the whole window and
+	// restore rewound the spans' private state — and by B's minimality it
+	// can hit no event, so every replayed span parks at or beyond B.
+	wp := winner.p
+	wp.clock = winner.exitClock
+	wp.step = nil
+	wp.clearSpan()
+	e.spanStats.CloseExit++
+
+	replay := e.spanActive[:0]
+	for i := range runs {
+		r := &runs[i]
+		if r == winner {
+			continue
+		}
+		if r.p.spanRestore != nil {
+			r.p.spanRestore()
+		}
+		r.p.clock = r.startClock
+		r.parked, r.exited, r.panicked = false, false, false
+		replay = append(replay, r)
+	}
+	for len(replay) > 0 {
+		e.runRound(replay, boundClock, boundID)
+		nr := replay[:0]
+		for _, r := range replay {
+			if r.exited || r.panicked {
+				panic("vtime: span replay diverged below the committed bound (span-safety contract violation)")
+			}
+			if !r.parked {
+				nr = append(nr, r)
+			}
+		}
+		replay = nr
+	}
+	e.spanActive = replay[:0]
+	for i := range runs {
+		if r := &runs[i]; r != winner {
+			e.heapPush(r.p)
+		}
+	}
+	e.refreshHorizon()
+	// Every re-pushed key is >= B and the winner's key is exactly B with
+	// all other ready keys > B (keys are unique), so the winner is the
+	// global minimum: dispatch returns it for the goroutine handoff.
+	return wp, true
+}
