@@ -1,10 +1,11 @@
 package main
 
-// Baseline recording and comparison. Five baseline kinds share one
+// Baseline recording and comparison. Six baseline kinds share one
 // write/compare mechanism: the throughput suite (BENCH_v*.json), the
 // open-loop latency sweep (LATENCY_v*.json), the overload sweep
-// (OVERLOAD_v*.json), the memory-pressure sweep (MEMPRESSURE_v*.json), and
-// the rack-scale sweep (SCALE_v*.json). Each kind provides a point type carrying its own
+// (OVERLOAD_v*.json), the memory-pressure sweep (MEMPRESSURE_v*.json), the
+// rack-scale sweep (SCALE_v*.json), and the failover sweep
+// (FAILOVER_v*.json). Each kind provides a point type carrying its own
 // identity (Key) and exact-equality contract (VirtualEq); the generic
 // helpers own the JSON envelope, the point-by-point drift report, and the
 // CI gate semantics (any virtual drift fails).
@@ -304,5 +305,27 @@ func compareScaleBaseline(path string, workers, par int, progress func(string)) 
 	sw := bench.DefaultScaleSweep()
 	return compareBaselineFile(path, "rack-scale", sw.Scale, func() ([]bench.ScalePoint, error) {
 		return bench.MeasureScale(sw, workers, par, progress)
+	})
+}
+
+// --- Failover baseline (FAILOVER_v1.json) ------------------------------------
+
+// writeFailoverBaseline measures the fixed failover sweep and writes the
+// JSON baseline.
+func writeFailoverBaseline(path string, workers, par int, progress func(string)) error {
+	pts, err := bench.MeasureFailover(bench.DefaultFailoverSweep(), workers, par, progress)
+	if err != nil {
+		return err
+	}
+	return writeBaselineFile(path, 1, 0, pts)
+}
+
+// compareFailoverBaseline re-measures the fixed failover sweep and fails on
+// any drift in the virtual fields (goodput before/after the crash, lost-work
+// accounting, breaker/retry/hedge counters, percentiles, checksums) — the
+// partial-failure graceful-degradation gate.
+func compareFailoverBaseline(path string, workers, par int, progress func(string)) error {
+	return compareBaselineFile(path, "failover", 0, func() ([]bench.FailoverPoint, error) {
+		return bench.MeasureFailover(bench.DefaultFailoverSweep(), workers, par, progress)
 	})
 }

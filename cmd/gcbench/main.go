@@ -19,6 +19,8 @@
 //	gcbench -mempressure -budgets 0,20,16 -admission memory
 //	gcbench -rackscale                # rack-scale sweep (paper machines + rack256, traffic split)
 //	gcbench -rackscale -machines rack256,rack1024 -scale 0.1
+//	gcbench -failover                 # failover sweep (replicated serving under crash faults)
+//	gcbench -failover -crash board -replicas 2,4
 //	gcbench -all -par 4               # ... with 4 span workers per simulation (bit-identical)
 //	gcbench -baseline BENCH_v3.json   # record a perf baseline (JSON)
 //	gcbench -compare BENCH_v3.json    # fail on any virtual-time drift
@@ -27,6 +29,7 @@
 //	gcbench -overload -compare OVERLOAD_v1.json  # overload drift gate
 //	gcbench -mempressure -compare MEMPRESSURE_v1.json  # memory-pressure drift gate
 //	gcbench -rackscale -compare SCALE_v1.json    # rack-scale drift gate
+//	gcbench -failover -compare FAILOVER_v1.json  # failover drift gate
 package main
 
 import (
@@ -53,6 +56,9 @@ func main() {
 		overload  = flag.Bool("overload", false, "sweep the overload harness: goodput/SLO vs offered load per admission policy, with faulted points")
 		mempress  = flag.Bool("mempressure", false, "sweep the memory-pressure harness: bounded-heap budget ladder per admission policy, with squeeze-fault points")
 		rackscale = flag.Bool("rackscale", false, "sweep the rack-scale harness: full-core-count makespans and NUMA traffic split on the paper machines and rack presets")
+		failover  = flag.Bool("failover", false, "sweep the failover harness: replicated serving pools under injected crash faults (single-vproc kills, correlated board kill on rack256)")
+		crashes   = flag.String("crash", "", "with -failover: comma-separated crash kinds (none, vproc, board; default: the fixed schedule)")
+		replicas  = flag.String("replicas", "", "with -failover: comma-separated replication levels (default: the fixed 1-4 ladder)")
 		machines  = flag.String("machines", "", "with -rackscale: comma-separated machine presets (amd48, intel32, rack256, rack1024, rack4096; default: the fixed amd48,intel32,rack256 set)")
 		budgets   = flag.String("budgets", "", "with -mempressure: comma-separated global chunk budgets (0 = unbounded; default: the 0/32/24/16 ladder)")
 		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = default reduced sizes)")
@@ -97,8 +103,8 @@ func main() {
 	if *figure != 0 && (*figure < 4 || *figure > 7) {
 		fatal(fmt.Errorf("-figure %d out of range: the paper's figures are 4-7", *figure))
 	}
-	if btoi(*latency)+btoi(*overload)+btoi(*mempress)+btoi(*rackscale) > 1 {
-		fatal(fmt.Errorf("-latency, -overload, -mempressure, and -rackscale are mutually exclusive sweeps"))
+	if btoi(*latency)+btoi(*overload)+btoi(*mempress)+btoi(*rackscale)+btoi(*failover) > 1 {
+		fatal(fmt.Errorf("-latency, -overload, -mempressure, -rackscale, and -failover are mutually exclusive sweeps"))
 	}
 
 	// The overload/mempressure knobs are validated whenever set (reject,
@@ -110,7 +116,9 @@ func main() {
 	sweep.FaultSeed = *faultSeed
 	mpSweep := bench.DefaultMempressureSweep()
 	scSweep := bench.DefaultScaleSweep()
+	foSweep := bench.DefaultFailoverSweep()
 	var loadsSet, budgetsSet, admSet, faultSeedSet, machinesSet, scaleSet bool
+	var crashSet, replicasSet bool
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "loads":
@@ -125,6 +133,10 @@ func main() {
 			machinesSet = true
 		case "scale":
 			scaleSet = true
+		case "crash":
+			crashSet = true
+		case "replicas":
+			replicasSet = true
 		}
 	})
 	if loadsSet && !*overload {
@@ -138,6 +150,40 @@ func main() {
 	}
 	if machinesSet && !*rackscale {
 		fatal(fmt.Errorf("-machines only applies to the -rackscale sweep"))
+	}
+	if (crashSet || replicasSet) && !*failover {
+		fatal(fmt.Errorf("-crash/-replicas only apply to the -failover sweep"))
+	}
+	if *crashes != "" {
+		foSweep.Crashes = nil
+		for _, s := range strings.Split(*crashes, ",") {
+			kind, err := workload.ParseCrashKind(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			foSweep.Crashes = append(foSweep.Crashes, kind)
+		}
+	}
+	if *replicas != "" {
+		foSweep.Replicas = nil
+		for _, s := range strings.Split(*replicas, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad -replicas value %q: %w", s, err))
+			}
+			if r < 1 {
+				fatal(fmt.Errorf("-replicas value %d is not a positive replication level", r))
+			}
+			foSweep.Replicas = append(foSweep.Replicas, r)
+		}
+	}
+	if *failover {
+		// The point set must be non-empty before any worker runs: an
+		// incompatible crash/replica selection (board kills with replication
+		// 1, say) must fail here with the full selection in the message.
+		if _, err := bench.FailoverPoints(foSweep); err != nil {
+			fatal(err)
+		}
 	}
 	if *machines != "" {
 		scSweep.Machines = nil
@@ -198,18 +244,19 @@ func main() {
 	if *baseline != "" && *compare != "" {
 		fatal(fmt.Errorf("-baseline and -compare are mutually exclusive"))
 	}
-	if *baseline != "" || *compare != "" || *latency || *overload || *mempress || *rackscale {
-		// Baselines (and the latency/overload/mempressure/rackscale sweeps)
-		// are only comparable across PRs when they are always recorded at
-		// the one fixed configuration, so reject any other configuration
-		// flag rather than silently ignoring it. -j, -par and -v are
-		// allowed: they do not change virtual results (the engine's window
-		// scheduler is bit-identical at every -par). The sweep knobs are
-		// allowed only for a custom print-mode sweep, never for a baseline.
+	if *baseline != "" || *compare != "" || *latency || *overload || *mempress || *rackscale || *failover {
+		// Baselines (and the latency/overload/mempressure/rackscale/failover
+		// sweeps) are only comparable across PRs when they are always
+		// recorded at the one fixed configuration, so reject any other
+		// configuration flag rather than silently ignoring it. -j, -par and
+		// -v are allowed: they do not change virtual results (the engine's
+		// window scheduler is bit-identical at every -par). The sweep knobs
+		// are allowed only for a custom print-mode sweep, never for a
+		// baseline.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "baseline", "compare", "latency", "overload", "mempressure", "rackscale", "v", "j", "par":
-			case "loads", "admission", "fault-seed", "budgets", "machines":
+			case "baseline", "compare", "latency", "overload", "mempressure", "rackscale", "failover", "v", "j", "par":
+			case "loads", "admission", "fault-seed", "budgets", "machines", "crash", "replicas":
 				if *baseline != "" || *compare != "" {
 					fatal(fmt.Errorf("-baseline/-compare use that sweep's fixed configuration; remove -%s", f.Name))
 				}
@@ -232,6 +279,15 @@ func main() {
 		}
 		var err error
 		switch {
+		case *failover && *baseline != "":
+			err = writeFailoverBaseline(*baseline, *workers, *par, progress)
+		case *failover && *compare != "":
+			err = compareFailoverBaseline(*compare, *workers, *par, progress)
+		case *failover:
+			var pts []bench.FailoverPoint
+			if pts, err = bench.MeasureFailover(foSweep, *workers, *par, progress); err == nil {
+				fmt.Println(bench.RenderFailover(pts))
+			}
 		case *rackscale && *baseline != "":
 			err = writeScaleBaseline(*baseline, *workers, *par, progress)
 		case *rackscale && *compare != "":

@@ -11,6 +11,11 @@
 // (-budget chunks, optionally with a seeded transient squeeze) and adds the
 // memory-pressure accounting: memory sheds, emergency-ladder walks, failed
 // allocations, and budget overdrafts behind one gcbench -mempressure point.
+// With -failover it runs the replicated serving harness under one injected
+// crash fault and prints the partial-failure accounting: crashed vprocs,
+// lost tasks/continuations/timers, goodput before and after the crash,
+// breaker trips, and the reroute/retry/hedge counters behind one gcbench
+// -failover point.
 //
 // Usage:
 //
@@ -24,6 +29,9 @@
 //	gctrace -overload -p 16 -gap 40000 -admission queue -fault-seed 0xfa115afe
 //	gctrace -mempressure -p 16 -gap 40000 -admission memory -budget 24
 //	gctrace -mempressure -p 16 -gap 40000 -admission queue -fault-seed 0x5c0ee2e1
+//	gctrace -failover -p 16 -replicas 2 -crash vproc
+//	gctrace -failover -machine rack256 -p 32 -replicas 4 -crash board
+//	gctrace -failover -p 16 -replicas 2 -crash vproc -hedge 30000
 package main
 
 import (
@@ -50,6 +58,10 @@ func main() {
 		latency   = flag.Bool("latency", false, "run the open-loop latency harness (GC-pressure heap shape) and print the pause-attribution breakdown")
 		overload  = flag.Bool("overload", false, "run the overload harness (GC-pressure heap shape) and print the goodput/SLO and shed/retry accounting")
 		mempress  = flag.Bool("mempressure", false, "run the overload harness against a bounded heap and print the memory-pressure accounting")
+		failover  = flag.Bool("failover", false, "run the replicated serving harness under one injected crash fault and print the partial-failure accounting")
+		replicasN = flag.Int("replicas", 2, "with -failover: replication level of the serving pool")
+		crashFlag = flag.String("crash", "vproc", "with -failover: crash kind (none, vproc, board) injected at the sweep's fixed instant")
+		hedge     = flag.Int64("hedge", 0, "with -failover: hedge delay in virtual ns (0 = no hedged requests)")
 		gap       = flag.Int64("gap", 400_000, "with -latency/-overload/-mempressure: mean per-client inter-arrival gap in virtual ns (offered load)")
 		admission = flag.String("admission", "deadline", "with -overload/-mempressure: admission policy (none, queue, deadline, memory)")
 		faultSeed = flag.Uint64("fault-seed", 0, "with -overload: seed a fault plan of stalls and bursts; with -mempressure: seed a transient budget squeeze (0 = no faults)")
@@ -84,13 +96,13 @@ func main() {
 		fatal(fmt.Errorf("-par %d is not a positive span-worker count (1 = serial engine)", *par))
 	}
 	nHarness := 0
-	for _, on := range []bool{*latency, *overload, *mempress} {
+	for _, on := range []bool{*latency, *overload, *mempress, *failover} {
 		if on {
 			nHarness++
 		}
 	}
 	if nHarness > 1 {
-		fatal(fmt.Errorf("-latency, -overload, and -mempressure are mutually exclusive harnesses"))
+		fatal(fmt.Errorf("-latency, -overload, -mempressure, and -failover are mutually exclusive harnesses"))
 	}
 	if *budget < 0 {
 		fatal(fmt.Errorf("-budget %d is negative (0 = unbounded)", *budget))
@@ -102,12 +114,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	crash, err := workload.ParseCrashKind(*crashFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *failover {
+		// The harness panics on impossible crash targets; catch those here
+		// with a usable message before any simulation time is spent.
+		if *replicasN < 1 {
+			fatal(fmt.Errorf("-replicas %d is not a positive replication level", *replicasN))
+		}
+		if *vprocs < 2 {
+			fatal(fmt.Errorf("-failover needs at least 2 vprocs (vproc 0 coordinates and is never a crash target)"))
+		}
+		if *hedge < 0 {
+			fatal(fmt.Errorf("-hedge %d is not a usable hedge delay (0 disables hedging)", *hedge))
+		}
+		if crash == workload.CrashBoard && topo.Boards() < 2 {
+			fatal(fmt.Errorf("-crash board needs a multi-board machine (%s has %d board(s)); try -machine rack256", topo.Name, topo.Boards()))
+		}
+		if crash == workload.CrashBoard && *replicasN < 2 {
+			fatal(fmt.Errorf("-crash board with -replicas 1 leaves no surviving replica; use -replicas >= 2"))
+		}
+	}
 	// Reject flag combinations that would otherwise be silently ignored:
 	// the traffic harnesses have fixed workload shapes (-bench/-scale do
-	// nothing under them), -gap only means anything to a harness, the
-	// admission/fault knobs only mean anything to the overload and
-	// memory-pressure harnesses, and the budget only to the latter.
-	harness := *latency || *overload || *mempress
+	// nothing under them), -gap only means anything to the load-driven
+	// harnesses, the admission/fault knobs only mean anything to the
+	// overload and memory-pressure harnesses, the budget only to the
+	// latter, and the crash/replication knobs only to -failover.
+	harness := *latency || *overload || *mempress || *failover
 	harnessName := "-latency"
 	if *overload {
 		harnessName = "-overload"
@@ -115,16 +151,21 @@ func main() {
 	if *mempress {
 		harnessName = "-mempressure"
 	}
+	if *failover {
+		harnessName = "-failover"
+	}
 	flag.Visit(func(f *flag.Flag) {
 		switch {
 		case harness && (f.Name == "bench" || f.Name == "scale"):
-			fatal(fmt.Errorf("%s runs a fixed traffic workload; remove -%s (use -gap for load)", harnessName, f.Name))
-		case !harness && f.Name == "gap":
+			fatal(fmt.Errorf("%s runs a fixed traffic workload; remove -%s", harnessName, f.Name))
+		case (!harness || *failover) && f.Name == "gap":
 			fatal(fmt.Errorf("-gap only applies to the -latency/-overload/-mempressure harnesses"))
 		case !*overload && !*mempress && (f.Name == "admission" || f.Name == "fault-seed"):
 			fatal(fmt.Errorf("-%s only applies to the -overload/-mempressure harnesses", f.Name))
 		case !*mempress && f.Name == "budget":
 			fatal(fmt.Errorf("-budget only applies to the -mempressure harness"))
+		case !*failover && (f.Name == "replicas" || f.Name == "crash" || f.Name == "hedge"):
+			fatal(fmt.Errorf("-%s only applies to the -failover harness", f.Name))
 		}
 	})
 	spec, err := workload.ByName(*benchName)
@@ -162,7 +203,16 @@ func main() {
 	var res workload.Result
 	var lat workload.LatencyResult
 	var ov workload.OverloadResult
+	var fo workload.FailoverResult
 	switch {
+	case *failover:
+		opt := bench.FailoverOptionsFor(*replicasN, crash, bench.FailoverCrashNs, *hedge)
+		fo = workload.RunFailover(rt, opt)
+		res = fo.Result
+		fmt.Printf("failover harness on %s, policy %s, %d vprocs, %d clients x %d requests, %d replicas x %d servers\n",
+			topo.Name, pol, *vprocs, opt.Clients, opt.Requests, opt.Replicas, opt.ServersPerReplica)
+		fmt.Printf("crash %s at %d ns (virtual), deadline %d ns, attempt timeout %d ns, hedge delay %d ns\n",
+			crash, opt.CrashNs, opt.DeadlineNs, opt.AttemptNs, opt.HedgeDelayNs)
 	case *latency:
 		opt := bench.LatencyOptionsFor(*gap)
 		lat = workload.RunLatency(rt, opt)
@@ -275,6 +325,38 @@ func main() {
 		if *faultSeed != 0 {
 			fmt.Printf("  squeezes   %d fault events injected (seed %#x)\n", s.FaultsInjected, *faultSeed)
 		}
+	}
+
+	if *failover {
+		us := func(v int64) float64 { return float64(v) / 1e3 }
+		fmt.Printf("\nfailover accounting (every offered request resolves exactly once):\n")
+		fmt.Printf("  offered   %6d requests over a %.1f us arrival window\n", fo.Offered, us(fo.WindowNs))
+		fmt.Printf("  completed %6d (%d within the SLO deadline)\n", fo.Completed, fo.GoodSLO)
+		fmt.Printf("  expired   %6d deadline budgets exhausted client-side, %d shed to memory pressure\n",
+			fo.FailedDeadline, fo.ShedMemory)
+		fmt.Printf("  lost      %6d requests whose client chain died with a crashed vproc (%d pre-crash, %d post)\n",
+			fo.LostClient, fo.LostPre, fo.LostPost)
+		fmt.Printf("  routing   %6d retries, %d rerouted off a crashed lane, %d hedged (%d hedge wins)\n",
+			fo.Retries, fo.Rerouted, fo.Hedged, fo.HedgeWins)
+		fmt.Printf("  breakers  %6d open transitions, %d fast-fails while all replicas were open, %d late replies dropped\n",
+			fo.BreakerTrips, fo.FastFails, fo.LateReplies)
+		fmt.Printf("  latency   p50 %.1f us   p99 %.1f us (completed requests, from scheduled arrival)\n",
+			us(fo.P50), us(fo.P99))
+		num, den := fo.ServingGoodputPost()
+		preNum, preDen := fo.GoodPre, fo.OfferedPre
+		pct := func(n, d int) float64 {
+			if d == 0 {
+				return 0
+			}
+			return float64(n) / float64(d) * 100
+		}
+		fmt.Printf("\ncrash impact (%d vproc(s) crashed):\n", fo.Crashes)
+		if crash != workload.CrashNone {
+			fmt.Printf("  goodput   %.0f%% of offered load served pre-crash (%d/%d), %.0f%% of surviving-client load post (%d/%d)\n",
+				pct(preNum, preDen), preNum, preDen, pct(num, den), num, den)
+		}
+		fmt.Printf("  lost work %6d tasks, %d parked continuations, %d pending timers retired with crashed vprocs\n",
+			s.LostTasks, s.LostConts, s.LostTimers)
 	}
 
 	fmt.Println("\nruntime totals:")

@@ -69,6 +69,12 @@ type Channel struct {
 	// observes the close as a status (SendClosed, a nil receive) instead of
 	// resurrecting the record.
 	closed bool
+	// crashed distinguishes a close forced by the owning vproc's crash from
+	// an orderly Close: sends observe SendCrashed instead of SendClosed, so
+	// failover policies can tell a retired replica from a drained one.
+	crashed bool
+	// ownedBy is the vproc whose crash retires this channel (SetOwner).
+	ownedBy *VProc
 }
 
 // SendStatus is the outcome of a channel send — the recoverable-failure
@@ -84,6 +90,11 @@ const (
 	// SendClosed: the channel was closed, possibly while the send was in
 	// flight — the message was dropped.
 	SendClosed
+	// SendCrashed: the channel's owning vproc (SetOwner) crashed — the
+	// message was dropped. The close-as-status protocol is identical to
+	// SendClosed; the distinct status lets routing layers treat a dead
+	// replica differently from an orderly shutdown.
+	SendCrashed
 )
 
 // String names the status for diagnostics.
@@ -95,6 +106,8 @@ func (s SendStatus) String() string {
 		return "full"
 	case SendClosed:
 		return "closed"
+	case SendCrashed:
+		return "crashed"
 	}
 	return fmt.Sprintf("SendStatus(%d)", int(s))
 }
@@ -236,6 +249,51 @@ func (ch *Channel) closeDeliver(r *rendezvous, which int) {
 // Closed reports whether Close has been called.
 func (ch *Channel) Closed() bool { return ch.closed }
 
+// Crashed reports whether the channel was retired by its owner's crash.
+func (ch *Channel) Crashed() bool { return ch.crashed }
+
+// SetOwner ties the channel's lifetime to a vproc: if the vproc crashes
+// (FaultCrash), the channel is retired through the close-as-status protocol —
+// parked receivers wake with nil messages and sends report SendCrashed. A
+// channel without an owner survives any crash (its record lives in the global
+// heap, which crashes never touch). Ownership is a failure-domain annotation,
+// not a scheduling one; it must be set before Run starts or from the owning
+// side, and at most once.
+func (ch *Channel) SetOwner(vp *VProc) {
+	if vp.rt != ch.rt {
+		panic("core: channel owned by a vproc of a different runtime")
+	}
+	if ch.ownedBy != nil {
+		panic(fmt.Sprintf("core: channel already owned by vproc %d", ch.ownedBy.ID))
+	}
+	ch.ownedBy = vp
+	vp.owned = append(vp.owned, ch)
+}
+
+// Owner returns the vproc the channel is tied to, or nil.
+func (ch *Channel) Owner() *VProc { return ch.ownedBy }
+
+// crashClose retires the channel on its owner's crash. A Close that landed at
+// an earlier instant — or at the same instant but earlier in engine order —
+// wins: the status was already delivered exactly once, and the crash adds
+// nothing (the record is gone, the waiters were popped). Otherwise this is a
+// Close whose observable status is SendCrashed.
+func (ch *Channel) crashClose() {
+	if ch.closed {
+		return
+	}
+	ch.crashed = true
+	ch.Close()
+}
+
+// failStatus is the status a shedding send reports on a dead channel.
+func (ch *Channel) failStatus() SendStatus {
+	if ch.crashed {
+		return SendCrashed
+	}
+	return SendClosed
+}
+
 // PendingProxies returns the addresses of the pending messages' proxies in
 // FIFO order — a host-side diagnostic for tests and debugging; nothing is
 // charged and no proxy is consumed.
@@ -281,7 +339,7 @@ func (ch *Channel) send(vp *VProc, slot int, try bool) SendStatus {
 	rt := ch.rt
 	if ch.closed {
 		vp.Stats.ChanSheds++
-		return SendClosed
+		return ch.failStatus()
 	}
 	ch.record(vp)
 	// The proxy rides in a root slot for the duration: the bounded-full
@@ -298,14 +356,14 @@ func (ch *Channel) send(vp *VProc, slot int, try bool) SendStatus {
 	for {
 		rec := ch.addr // collections update the registered root in place
 		if ch.closed || rec == 0 {
-			return ch.shedInFlight(vp, ps, SendClosed)
+			return ch.shedInFlight(vp, ps, ch.failStatus())
 		}
 		vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, rt.Space.NodeOf(rec), 16, numa.AccessMemory))
 		if ch.closed {
 			// Closed during the probe charge: rec is a stale snapshot of
 			// a dead record — committing through it would lose the
 			// message silently.
-			return ch.shedInFlight(vp, ps, SendClosed)
+			return ch.shedInFlight(vp, ps, ch.failStatus())
 		}
 		// Hand off to a parked receiver only while the pending chain is
 		// empty: a waiter can coexist with pending messages (a Select
@@ -337,7 +395,7 @@ func (ch *Channel) send(vp *VProc, slot int, try bool) SendStatus {
 		dst := rt.globalAllocDst(vp, qnodeSizeWords)
 		rec = ch.addr
 		if ch.closed || rec == 0 {
-			return ch.shedInFlight(vp, ps, SendClosed)
+			return ch.shedInFlight(vp, ps, ch.failStatus())
 		}
 		p := rt.Space.Payload(rec)
 		if heap.Addr(p[chanHeadSlot]) == 0 {
@@ -459,9 +517,14 @@ func (ch *Channel) Recv(vp *VProc) heap.Addr {
 	slot := vp.PushRoot(0)
 	r := &rendezvous{vp: vp, slot: slot}
 	ch.waiters.push(r, 0)
+	// The wait services the scheduler, where this vproc's own crash fault can
+	// fire: registering the frame in vp.blocked lets the crash mark it
+	// claimed, so no sender ever delivers into a dead vproc's root slots.
+	vp.blocked = append(vp.blocked, r)
 	for !r.ready {
 		vp.ServiceScheduler()
 	}
+	vp.removeBlocked(r)
 	proxy := vp.roots[slot]
 	vp.PopRoots(1)
 	if proxy == 0 {
@@ -523,9 +586,14 @@ func (vp *VProc) Select(chans ...*Channel) (int, heap.Addr) {
 		vp.Stats.ChanRecvs++
 		return i, vp.consumeProxy(proxy)
 	}
+	// Same crash discipline as Recv: registered for the wait only — the
+	// probe loop above never services the scheduler, so a crash cannot fire
+	// between registration and this point.
+	vp.blocked = append(vp.blocked, r)
 	for !r.ready {
 		vp.ServiceScheduler()
 	}
+	vp.removeBlocked(r)
 	proxy := vp.roots[slot]
 	which := r.which
 	vp.PopRoots(1)
@@ -722,6 +790,17 @@ func (vp *VProc) removeParked(r *rendezvous) {
 		}
 	}
 	panic("core: parked continuation not registered with its owner")
+}
+
+// removeBlocked unregisters a woken blocking waiter from the crash registry.
+func (vp *VProc) removeBlocked(r *rendezvous) {
+	for i, q := range vp.blocked {
+		if q == r {
+			vp.blocked = append(vp.blocked[:i], vp.blocked[i+1:]...)
+			return
+		}
+	}
+	panic("core: blocking waiter not registered with its vproc")
 }
 
 // rendezvousRing is a FIFO ring buffer of parked receivers. A ring (rather

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/heap"
+	"repro/internal/numa"
+)
+
+// Crash-fault semantics. A FaultCrash kills a vproc at a chosen virtual
+// instant — the deterministic model of a node or board dying under a
+// rack-scale runtime. The contract, piece by piece:
+//
+//   - The crash is instantaneous: cleanup is host-side bookkeeping, charged
+//     no virtual time, and then the vproc's stack unwinds with the
+//     vprocCrashed sentinel (recovered in Runtime.Run) so the engine
+//     retires its proc normally. Crash-free runs execute zero crash code on
+//     any charged path and are bit-identical to pre-crash-subsystem builds.
+//
+//   - Nothing is silently leaked. The entry task, every queued task, every
+//     in-flight (nested) task, and every parked continuation owned by the
+//     crashed vproc is reported lost: marked done+lost, its rt.outstanding
+//     count released, and tallied in LostTasks/LostConts. Join on a lost
+//     task returns (Task.Lost reports the loss); pending timer deadlines
+//     are cancelled and counted in LostTimers.
+//
+//   - The global-GC barrier protocol shrinks: the crashed vproc is dropped
+//     from all four barriers (vtime.Barrier.Drop), releasing any vprocs
+//     already parked at the entry rendezvous, and leadership of a pending
+//     collection transfers to the lowest live vproc. Later collections
+//     expect one fewer participant. requestGlobalGC stops signalling the
+//     corpse.
+//
+//   - The local heap is retired, not freed: its memory is frozen in place
+//     so proxies minted by the crashed vproc stay resolvable (a thief's
+//     ProxyDeref promotes out of the frozen heap exactly as before — sent
+//     messages are recovered work, not lost work). The leader of each
+//     subsequent global collection adopts the retired heap: it forwards the
+//     crashed vproc's proxies and walks the frozen old area + nursery so
+//     everything reachable from them survives, then repairs the promotion
+//     forwarding words, keeping the retired heap verifier-clean.
+//
+//   - Owned channels (Channel.SetOwner) die with the vproc through the
+//     close-as-status protocol: parked receivers wake with nil messages,
+//     parked sends and later send attempts observe SendCrashed. A
+//     Channel.Close racing the owner's crash at the same instant resolves
+//     deterministically by engine order, and the status is delivered
+//     exactly once — whichever lands first pops the waiters; the loser
+//     finds the channel already closed and does nothing.
+//
+//   - Steal sweeps need no special case: the crashed queue is empty, so
+//     the victim filter (queue.size() > 0) never selects a corpse.
+
+// vprocCrashed is the panic sentinel that unwinds a crashed vproc's stack.
+type vprocCrashed struct{}
+
+// crash executes the FaultCrash: it runs on the dying vproc's own
+// goroutine, at a checkPreempt site (so the vproc holds no collection or
+// promotion locks and is not inside a barrier), performs the advance-free
+// cleanup, and never returns.
+func (vp *VProc) crash() {
+	if vp.crashed {
+		panic(fmt.Sprintf("core: vproc %d crashed twice", vp.ID))
+	}
+	rt := vp.rt
+	vp.crashed = true
+	vp.Stats.Crashes++
+
+	// Pending timers die with the vproc. Fault events queued behind this
+	// crash are dropped uncounted (they target a corpse); timer
+	// continuations are counted as cancelled deadlines — the rendezvous
+	// themselves are retired through vp.parked below.
+	for {
+		t := vp.timers.PopDue(math.MaxInt64)
+		if t == nil {
+			break
+		}
+		if r, ok := t.Data.(*rendezvous); ok && !r.claimed {
+			r.timer = nil
+			vp.Stats.LostTimers++
+		}
+	}
+	vp.pendingFaults = nil
+
+	// Parked continuations (RecvThen/SelectThen/AtThen chains) are lost:
+	// each holds one outstanding count. Marking them claimed makes any
+	// later sender's ring pop skip the dead registration, exactly like a
+	// consumed rendezvous.
+	for _, r := range vp.parked {
+		if r.claimed {
+			continue
+		}
+		r.claimed = true
+		rt.outstanding--
+		vp.Stats.LostConts++
+	}
+	vp.parked = nil
+
+	// Blocking waiters (Recv/Select frames of the dying stack) hold no
+	// outstanding count, but their ring registrations must go dead too —
+	// a sender must not hand a message to a vproc that will never wake.
+	for _, r := range vp.blocked {
+		r.claimed = true
+	}
+	vp.blocked = nil
+
+	// In-flight tasks (the running stack nests through inline Join) and
+	// queued tasks are lost work: exact Join accounting requires marking
+	// them done so joiners stop waiting, and lost so they can tell.
+	for i := len(vp.running) - 1; i >= 0; i-- {
+		loseTask(vp, vp.running[i])
+	}
+	vp.running = nil
+	for vp.queue.size() > 0 {
+		loseTask(vp, vp.queue.popBottom())
+	}
+	if vp.ID == 0 && !rt.entryDone {
+		// The entry task's count is held by Run itself, not by any queue.
+		rt.entryDone = true
+		rt.outstanding--
+		vp.Stats.LostTasks++
+	}
+
+	// Results this vproc computed for still-live owners are recovered, not
+	// lost: hand them to the owner so global collections keep forwarding
+	// them and JoinResult finds them. Results owned by a corpse die here.
+	for _, t := range vp.resultTasks {
+		owner := rt.VProcs[t.owner]
+		if owner != vp && !owner.crashed {
+			t.executor = owner
+			owner.resultTasks = append(owner.resultTasks, t)
+		}
+	}
+	vp.resultTasks = nil
+	vp.roots = nil
+
+	// Owned channels fail over to SendCrashed / nil wakeups. This runs
+	// after the parked/blocked retirement above so the close path skips
+	// this vproc's own dead registrations and only wakes live parties.
+	for _, ch := range vp.owned {
+		ch.crashClose()
+	}
+	vp.owned = nil
+
+	// Leave the stop-the-world protocol. If a collection is pending and
+	// this vproc was its leader, leadership moves to the lowest live vproc
+	// (which cannot have passed the entry barrier: a pending collection
+	// holds everyone there until all participants — including this one —
+	// arrive). Dropping the entry barrier may release the parked field.
+	g := &rt.global
+	if g.pending && g.leader == vp.ID {
+		for _, o := range rt.VProcs {
+			if !o.crashed {
+				g.leader = o.ID
+				break
+			}
+		}
+	}
+	g.entry.Drop(vp.proc)
+	g.setup.Drop(vp.proc)
+	g.scanDone.Drop(vp.proc)
+	g.finish.Drop(vp.proc)
+
+	panic(vprocCrashed{})
+}
+
+// loseTask reports one task lost to a crash.
+func loseTask(vp *VProc, t *Task) {
+	t.done = true
+	t.lost = true
+	t.executor = vp
+	t.result = 0
+	vp.rt.outstanding--
+	vp.Stats.LostTasks++
+}
+
+// adoptCrashedHeaps is the leader's phase-3 walk over every retired heap:
+// the crashed vprocs' proxies and frozen local data are global roots nobody
+// else will scan. Forwarding them preserves exactly what the dead vproc's
+// own globalScanRoots would have preserved, so messages in flight at crash
+// time stay deliverable. Charged like the owner's walk: per-copy evacuation
+// charges plus one fused streaming read per retired heap.
+func (vp *VProc) adoptCrashedHeaps() {
+	rt := vp.rt
+	fw := vp.globalForward
+	for _, dead := range rt.VProcs {
+		if !dead.crashed {
+			continue
+		}
+		for i, pa := range dead.proxies {
+			npa := fw(pa)
+			dead.proxies[i] = npa
+			// The proxy's local slot may hold a *global* address (the
+			// proxied object was promoted before the crash) — from-space
+			// now. Frozen local addresses pass through untouched.
+			p := rt.Space.Payload(npa)
+			p[heap.ProxyLocalSlot] = uint64(fw(heap.Addr(p[heap.ProxyLocalSlot])))
+		}
+		if dead.proxyIdx != nil {
+			clear(dead.proxyIdx)
+			for i, pa := range dead.proxies {
+				dead.proxyIdx[pa] = i
+			}
+		}
+		// The frozen heap was live mid-mutation: both the old area and the
+		// nursery hold data reachable through proxies.
+		lh := dead.Local
+		vp.adoptScanRange(lh, 1, lh.OldTop)
+		vp.adoptScanRange(lh, lh.NurseryStart, lh.Alloc)
+		node := rt.Space.NodeOf(heap.MakeAddr(lh.Region.ID, 1))
+		span := (lh.OldTop - 1) + (lh.Alloc - lh.NurseryStart)
+		vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, span*8, numa.AccessCache))
+	}
+}
+
+// adoptScanRange forwards the global references of one frozen heap range on
+// behalf of its crashed owner.
+func (vp *VProc) adoptScanRange(lh *heap.LocalHeap, lo, hi int) {
+	rt := vp.rt
+	words := lh.Region.Words
+	for scan := lo; scan < hi; {
+		h := words[scan]
+		var n int
+		if heap.IsHeader(h) {
+			obj := heap.MakeAddr(lh.Region.ID, scan+1)
+			heap.ScanObject(rt.Space, rt.Descs, obj, func(_ int, p heap.Addr) heap.Addr {
+				return vp.globalForward(p)
+			})
+			n = heap.HeaderLen(h)
+		} else {
+			n = rt.Space.ObjectLen(heap.ForwardTarget(h))
+		}
+		scan += n + 1
+	}
+}

@@ -74,6 +74,12 @@ func TestDeterministicRerun(t *testing.T) {
 		// instants and the resulting latencies must be bit-identical.
 		{"latency", 16, mempage.PolicyLocal, 0.5},
 		{"latency", 8, mempage.PolicyInterleaved, 0.25},
+		// Crash-heavy: the replicated serving harness kills a lane-home
+		// vproc mid-run, so barrier drops, crashed-heap adoption, owned-
+		// channel SendCrashed wakeups, and lost-work accounting must all
+		// replay identically.
+		{"failover", 12, mempage.PolicyLocal, 0.5},
+		{"failover", 8, mempage.PolicyInterleaved, 0.25},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -120,6 +126,9 @@ func TestSpanWorkersBitIdentical(t *testing.T) {
 		{numa.AMD48, "server", 12, mempage.PolicyInterleaved, 0.5},
 		{numa.AMD48, "latency", 16, mempage.PolicyLocal, 0.25},
 		{numa.Rack256, "quicksort", 64, mempage.PolicySingleNode, 0.125},
+		// A crash mid-window: barrier drops and retired-heap adoption must
+		// be invisible to the span scheduler's worker count.
+		{numa.AMD48, "failover", 16, mempage.PolicyLocal, 0.5},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -40,6 +40,14 @@ const (
 	// already in the heap stays (a squeeze below current occupancy puts
 	// the heap in overdraft until collections catch up).
 	FaultSqueeze
+	// FaultCrash kills the target vproc at the deadline — permanently. The
+	// crashed vproc leaves every global-GC barrier and steal sweep, its
+	// local heap is retired (frozen, still readable through proxies), its
+	// queued and in-flight tasks are reported lost with exact Join
+	// accounting, its parked continuations and pending timers are cancelled,
+	// and its owned channels fail over to SendCrashed / nil-message wakeups.
+	// See crash.go for the full semantics contract.
+	FaultCrash
 )
 
 // String names the kind for diagnostics.
@@ -53,6 +61,8 @@ func (k FaultKind) String() string {
 		return "close"
 	case FaultSqueeze:
 		return "squeeze"
+	case FaultCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -76,6 +86,12 @@ type FaultEvent struct {
 	// Budget is the global chunk budget to install (FaultSqueeze);
 	// 0 restores an unbounded heap.
 	Budget int
+	// Node and Board widen a FaultCrash to every vproc on a NUMA node or
+	// board (correlated failure). Exactly one of VProc/Node/Board must be
+	// >= 0 for a crash event; the builders set the unused pair to -1.
+	// Ignored by every other kind.
+	Node  int
+	Board int
 }
 
 // FaultPlan is an ordered set of fault events. Build one with the chained
@@ -108,6 +124,67 @@ func (p *FaultPlan) CloseAt(vproc int, at int64, ch *Channel) *FaultPlan {
 // squeeze-then-recover episode.
 func (p *FaultPlan) SqueezeAt(vproc int, at int64, budgetChunks int) *FaultPlan {
 	p.Events = append(p.Events, FaultEvent{At: at, VProc: vproc, Kind: FaultSqueeze, Budget: budgetChunks})
+	return p
+}
+
+// CrashAt schedules a FaultCrash of one vproc and returns the plan for
+// chaining.
+func (p *FaultPlan) CrashAt(vproc int, at int64) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, VProc: vproc, Kind: FaultCrash, Node: -1, Board: -1})
+	return p
+}
+
+// CrashNodeAt schedules a correlated FaultCrash of every vproc on a NUMA
+// node and returns the plan for chaining. The node is resolved against the
+// machine at InstallFaults time; a node with no vproc assigned is an error
+// (reject, not silently inert).
+func (p *FaultPlan) CrashNodeAt(node int, at int64) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, VProc: -1, Kind: FaultCrash, Node: node, Board: -1})
+	return p
+}
+
+// CrashBoardAt schedules a correlated FaultCrash of every vproc on a board
+// (the rack machines' failure domain) and returns the plan for chaining.
+func (p *FaultPlan) CrashBoardAt(board int, at int64) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{At: at, VProc: -1, Kind: FaultCrash, Node: -1, Board: board})
+	return p
+}
+
+// RandomCrashPlan extends RandomFaultPlan's stream discipline to crash
+// storms: crashes single-vproc kills drawn without replacement from
+// [keepLow, nv) over [horizon/8, horizon). Vprocs below keepLow are never
+// crashed — harnesses keep their coordinator (vproc 0) alive so termination
+// watchdogs survive. Requires crashes <= nv - keepLow.
+func RandomCrashPlan(seed uint64, nv, keepLow, crashes int, horizon int64) *FaultPlan {
+	if nv < 1 || keepLow < 0 || keepLow >= nv {
+		panic(fmt.Sprintf("core: RandomCrashPlan with %d vprocs, keepLow %d", nv, keepLow))
+	}
+	if crashes < 0 || crashes > nv-keepLow {
+		panic(fmt.Sprintf("core: RandomCrashPlan wants %d crashes of %d crashable vprocs", crashes, nv-keepLow))
+	}
+	if horizon < 16 {
+		panic(fmt.Sprintf("core: RandomCrashPlan horizon %d too short", horizon))
+	}
+	x := seed*0x9E3779B97F4A7C15 | 1
+	next := func() uint64 {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		return x * 0x2545F4914F6CDD1D
+	}
+	// Partial Fisher-Yates over the crashable vproc IDs: distinct targets by
+	// construction, matching InstallFaults's no-duplicate-crash rule.
+	ids := make([]int, nv-keepLow)
+	for i := range ids {
+		ids[i] = keepLow + i
+	}
+	p := &FaultPlan{}
+	lo := horizon / 8
+	for i := 0; i < crashes; i++ {
+		j := i + int(next()%uint64(len(ids)-i))
+		ids[i], ids[j] = ids[j], ids[i]
+		p.CrashAt(ids[i], lo+int64(next()%uint64(horizon-lo)))
+	}
 	return p
 }
 
@@ -152,13 +229,20 @@ func RandomFaultPlan(seed uint64, nv int, horizon int64, stalls, bursts int) *Fa
 // fault timers do not count as outstanding work, so the runtime quiesces
 // normally and unfired events are simply never popped.
 func (rt *Runtime) InstallFaults(p *FaultPlan) {
+	// crashTargets: every vproc crashed by any event of the plan — a vproc
+	// may crash at most once (reject, not last-wins).
+	crashTargets := make(map[int]bool)
 	for i := range p.Events {
 		e := &p.Events[i]
-		if e.VProc < 0 || e.VProc >= len(rt.VProcs) {
-			panic(fmt.Sprintf("core: fault event %d targets vproc %d of %d", i, e.VProc, len(rt.VProcs)))
-		}
 		if e.At < 0 {
 			panic(fmt.Sprintf("core: fault event %d at negative instant %d", i, e.At))
+		}
+		if e.Kind == FaultCrash {
+			rt.installCrash(i, e, crashTargets)
+			continue
+		}
+		if e.VProc < 0 || e.VProc >= len(rt.VProcs) {
+			panic(fmt.Sprintf("core: fault event %d targets vproc %d of %d", i, e.VProc, len(rt.VProcs)))
 		}
 		if e.Kind == FaultClose && e.Ch == nil {
 			panic(fmt.Sprintf("core: fault event %d closes a nil channel", i))
@@ -167,6 +251,63 @@ func (rt *Runtime) InstallFaults(p *FaultPlan) {
 			panic(fmt.Sprintf("core: fault event %d squeezes to negative budget %d", i, e.Budget))
 		}
 		rt.VProcs[e.VProc].timers.Add(e.At, e)
+	}
+}
+
+// installCrash validates one FaultCrash event eagerly (reject, not clamp)
+// and arms one per-vproc crash event for every vproc in its failure domain.
+// Node/board targets are resolved against the machine here — the only place
+// the plan meets a topology.
+func (rt *Runtime) installCrash(i int, e *FaultEvent, crashTargets map[int]bool) {
+	topo := rt.Cfg.Topo
+	var targets []int
+	switch {
+	case e.VProc >= 0:
+		if e.Node >= 0 || e.Board >= 0 {
+			panic(fmt.Sprintf("core: crash event %d names both a vproc and a node/board", i))
+		}
+		if e.VProc >= len(rt.VProcs) {
+			panic(fmt.Sprintf("core: crash event %d targets vproc %d of %d", i, e.VProc, len(rt.VProcs)))
+		}
+		targets = []int{e.VProc}
+	case e.Node >= 0:
+		if e.Board >= 0 {
+			panic(fmt.Sprintf("core: crash event %d names both a node and a board", i))
+		}
+		if e.Node >= topo.NumNodes() {
+			panic(fmt.Sprintf("core: crash event %d targets node %d of %d", i, e.Node, topo.NumNodes()))
+		}
+		for _, vp := range rt.VProcs {
+			if vp.Node == e.Node {
+				targets = append(targets, vp.ID)
+			}
+		}
+		if len(targets) == 0 {
+			panic(fmt.Sprintf("core: crash event %d targets node %d, which hosts no vproc", i, e.Node))
+		}
+	case e.Board >= 0:
+		if e.Board >= topo.Boards() {
+			panic(fmt.Sprintf("core: crash event %d targets board %d of %d", i, e.Board, topo.Boards()))
+		}
+		for _, vp := range rt.VProcs {
+			if topo.BoardOfNode(vp.Node) == e.Board {
+				targets = append(targets, vp.ID)
+			}
+		}
+		if len(targets) == 0 {
+			panic(fmt.Sprintf("core: crash event %d targets board %d, which hosts no vproc", i, e.Board))
+		}
+	default:
+		panic(fmt.Sprintf("core: crash event %d names no target (vproc, node, and board all < 0)", i))
+	}
+	for _, id := range targets {
+		if crashTargets[id] {
+			panic(fmt.Sprintf("core: crash event %d crashes vproc %d twice", i, id))
+		}
+		crashTargets[id] = true
+		// A fresh per-vproc event: the plan's event is a template for the
+		// whole failure domain and may be reused across runs.
+		rt.VProcs[id].timers.Add(e.At, &FaultEvent{At: e.At, VProc: id, Kind: FaultCrash, Node: -1, Board: -1})
 	}
 }
 
@@ -197,6 +338,11 @@ func (vp *VProc) runPendingFaults() {
 			// The budget changed under the fail-fast state; re-arm the
 			// ladder so the next gate re-evaluates from scratch.
 			vp.rt.ladderFailed = false
+		case FaultCrash:
+			// crash never returns: it unwinds this vproc's whole stack with
+			// the vprocCrashed sentinel (recovered in Runtime.Run). Any
+			// events still queued behind it die with the vproc.
+			vp.crash()
 		default:
 			panic(fmt.Sprintf("core: unknown fault kind %d", e.Kind))
 		}

@@ -57,8 +57,14 @@ func (rt *Runtime) requestGlobalGC(vp *VProc) {
 	rt.emit(GCEvent{Kind: EvGlobalStart, VProc: vp.ID, At: g.startNs})
 	// Zero every vproc's limit pointer, including the requester's own, so
 	// its next safepoint joins the collection even if it stops
-	// allocating.
+	// allocating. Crashed vprocs are not signalled: they left the barrier
+	// protocol at crash time (Barrier.Drop) and will never reach another
+	// safepoint, so signalling them would charge time for a vproc that
+	// cannot respond.
 	for _, other := range rt.VProcs {
+		if other.crashed {
+			continue
+		}
 		other.Local.ZeroLimit()
 		if other != vp {
 			vp.advance(rt.Cfg.SignalVProcNs)
@@ -125,6 +131,10 @@ func (vp *VProc) globalCollect() {
 		for _, pa := range rt.globalRoots {
 			*pa = vp.globalForward(*pa)
 		}
+		// Crashed vprocs cannot scan their own retired heaps; the leader
+		// adopts them (proxies, frozen local data) so messages and proxied
+		// objects they left behind survive the collection.
+		vp.adoptCrashedHeaps()
 	}
 	vp.globalScanLoop()
 
@@ -133,6 +143,15 @@ func (vp *VProc) globalCollect() {
 	// repair this vproc's local promotion-forwarding words before the
 	// barrier, while the from-space headers are still intact.
 	vp.repairLocalForwarding()
+	if vp.ID == g.leader {
+		// Same repair for the retired heaps the leader adopted above.
+		for _, dead := range rt.VProcs {
+			if dead.crashed {
+				dead.repairLocalForwarding()
+				dead.repairNurseryForwarding()
+			}
+		}
+	}
 
 	g.scanDone.Arrive(vp.proc)
 
@@ -383,10 +402,25 @@ func (vp *VProc) globalScanRootsDirect() {
 // it reads only state the scan already touched and is not charged, so
 // schedules are unchanged.
 func (vp *VProc) repairLocalForwarding() {
+	vp.repairForwardingRange(1, vp.Local.OldTop)
+}
+
+// repairNurseryForwarding is the nursery half of the repair. Live vprocs
+// never need it — the minor+major collections that precede the global phase
+// empty their nurseries — but a crashed vproc's heap is frozen mid-mutation
+// with live nursery data (and possibly promotion forwarding words there),
+// so the adopting leader repairs both ranges.
+func (vp *VProc) repairNurseryForwarding() {
+	vp.repairForwardingRange(vp.Local.NurseryStart, vp.Local.Alloc)
+}
+
+// repairForwardingRange rewrites the promotion forwarding words in local
+// words [lo, hi); see repairLocalForwarding for the protocol argument.
+func (vp *VProc) repairForwardingRange(lo, hi int) {
 	rt := vp.rt
 	lh := vp.Local
 	words := lh.Region.Words
-	for scan := 1; scan < lh.OldTop; {
+	for scan := lo; scan < hi; {
 		h := words[scan]
 		var n int
 		if heap.IsHeader(h) {

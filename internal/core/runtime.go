@@ -25,6 +25,11 @@ type Runtime struct {
 	// Scheduler state (serialized by the virtual-time engine).
 	outstanding int64 // spawned but not yet completed tasks
 	finished    bool
+	// entryDone flips once the entry task has either returned or been
+	// reported lost: the entry task holds one outstanding count that is not
+	// on any queue or running stack, so a crash of vproc 0 mid-entry must
+	// release it exactly once (see crash.go).
+	entryDone bool
 
 	global globalState
 	tracer Tracer
@@ -270,9 +275,20 @@ func (rt *Runtime) Run(entry func(vp *VProc)) int64 {
 	rt.outstanding = 1
 	rt.Eng.Run(func(p *vtime.Proc) {
 		vp := rt.VProcs[p.ID]
+		// A crashed vproc unwinds its whole stack with the vprocCrashed
+		// sentinel (see crash.go); recovering it here lets the engine
+		// retire the proc normally. Everything else propagates.
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(vprocCrashed); !ok {
+					panic(r)
+				}
+			}
+		}()
 		if p.ID == 0 {
 			entry(vp)
 			vp.Stats.TasksRun++
+			rt.entryDone = true
 			rt.outstanding--
 		}
 		vp.schedulerLoop()
@@ -307,6 +323,10 @@ func (rt *Runtime) TotalStats() VPStats {
 		t.FaultBurstWords += vp.Stats.FaultBurstWords
 		t.AllocFailed += vp.Stats.AllocFailed
 		t.EmergencyGCs += vp.Stats.EmergencyGCs
+		t.Crashes += vp.Stats.Crashes
+		t.LostTasks += vp.Stats.LostTasks
+		t.LostConts += vp.Stats.LostConts
+		t.LostTimers += vp.Stats.LostTimers
 	}
 	return t
 }

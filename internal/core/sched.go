@@ -56,6 +56,10 @@ type Task struct {
 	result heap.Addr
 	// done is set after Fn returns; Join polls it.
 	done bool
+	// lost is set instead of a real completion when the executing (or
+	// holding) vproc crashed: the task is done in the Join sense — waiting
+	// longer cannot help — but produced nothing.
+	lost bool
 }
 
 // Result returns the task's produced value; valid only after Done and
@@ -64,6 +68,10 @@ func (t *Task) Result() heap.Addr { return t.result }
 
 // Done reports whether the task has completed.
 func (t *Task) Done() bool { return t.done }
+
+// Lost reports whether the task was lost to a vproc crash instead of
+// completing. Join on a lost task returns immediately; JoinResult yields 0.
+func (t *Task) Lost() bool { return t.lost }
 
 // deque is the vproc-local work queue: the owner pushes and pops at the
 // bottom (LIFO, for locality); thieves steal from the top (FIFO, stealing
@@ -189,6 +197,11 @@ func (vp *VProc) runTask(t *Task) {
 	base := len(vp.roots)
 	vp.roots = append(vp.roots, t.env...)
 	e := Env{base: base, n: len(t.env)}
+	// The running stack makes in-flight tasks visible to crash cleanup
+	// (tasks nest through inline Join); a crash mid-body reports every
+	// frame lost. Popped on the normal path only — the crash unwind never
+	// returns here.
+	vp.running = append(vp.running, t)
 	if t.resFn != nil {
 		r := t.resFn(vp, e)
 		if vp.ID != t.owner {
@@ -203,6 +216,7 @@ func (vp *VProc) runTask(t *Task) {
 		t.Fn(vp, e)
 	}
 	vp.roots = vp.roots[:base]
+	vp.running = vp.running[:len(vp.running)-1]
 	t.done = true
 	vp.Stats.TasksRun++
 	vp.rt.outstanding--

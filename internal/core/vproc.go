@@ -82,6 +82,28 @@ type VProc struct {
 	// rng is a per-vproc deterministic PRNG for workload use.
 	rng uint64
 
+	// crashed marks a vproc killed by a FaultCrash. A crashed vproc never
+	// runs again: its proc ended Done, its queue/parked/timers are empty,
+	// and its local heap is retired — frozen in place, still readable by
+	// thieves resolving proxies, never collected again (see crash.go).
+	crashed bool
+
+	// running is the stack of tasks currently executing on this vproc
+	// (nested through inline Join); a crash reports them all lost so the
+	// outstanding-work count stays exact.
+	running []*Task
+
+	// blocked registers this vproc's *blocking* channel waiters (Recv and
+	// Select frames, which park the whole vproc). A crash marks them
+	// claimed so later senders skip the dead rendezvous instead of
+	// delivering into a vproc that will never wake.
+	blocked []*rendezvous
+
+	// owned lists channels registered to die with this vproc
+	// (Channel.SetOwner): a crash fails them over to SendCrashed / nil
+	// wakeups through the close-as-status protocol.
+	owned []*Channel
+
 	Stats VPStats
 }
 
@@ -110,6 +132,10 @@ type VPStats struct {
 	FaultBurstWords int64 // words allocated by injected heap-pressure bursts
 	AllocFailed     int64 // TryAlloc*/TryPromote failures after the emergency ladder
 	EmergencyGCs    int64 // emergency collection ladders walked by this vproc
+	Crashes         int   // 1 if this vproc was killed by a FaultCrash
+	LostTasks       int64 // queued + in-flight tasks lost to the crash
+	LostConts       int64 // parked continuations cancelled by the crash
+	LostTimers      int64 // pending timer deadlines cancelled by the crash
 }
 
 // Runtimer accessors.
@@ -119,6 +145,9 @@ func (vp *VProc) Runtime() *Runtime { return vp.rt }
 
 // Now returns the vproc's virtual clock (ns).
 func (vp *VProc) Now() int64 { return vp.proc.Now() }
+
+// Crashed reports whether a FaultCrash killed this vproc.
+func (vp *VProc) Crashed() bool { return vp.crashed }
 
 // advance charges virtual time.
 func (vp *VProc) advance(d int64) { vp.proc.Advance(d) }

@@ -55,3 +55,36 @@ func (b *Barrier) Arrive(p *Proc) {
 	// The last arriver keeps the token; the min-clock rule will schedule
 	// the released procs at its next Advance.
 }
+
+// Drop removes one expected participant — a proc that will never arrive
+// again (it crashed). The dropper must be the current token holder and must
+// not itself be parked in the barrier. If the shrunken count is already
+// satisfied by the parked waiters, they are released exactly as the last
+// arriver would have released them: at max(arrival clocks) + SyncCost. The
+// dropper's own clock does not advance — it is leaving the rendezvous, not
+// joining it.
+func (b *Barrier) Drop(p *Proc) {
+	if b.n <= 0 {
+		panic("vtime: barrier drop below zero participants")
+	}
+	b.n--
+	if len(b.waiting) == 0 {
+		if b.n == 0 {
+			b.maxT = 0
+		}
+		return
+	}
+	if len(b.waiting) < b.n {
+		return
+	}
+	e := p.eng
+	t := b.maxT + b.SyncCost
+	for _, q := range b.waiting {
+		q.clock = t
+		q.state = Ready
+		e.heapPush(q)
+	}
+	b.waiting = b.waiting[:0]
+	b.maxT = 0
+	e.refreshHorizon()
+}

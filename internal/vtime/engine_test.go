@@ -95,6 +95,52 @@ func TestBarrierReusable(t *testing.T) {
 	}
 }
 
+// TestBarrierDropReleasesWaiters: dropping a participant that waiters are
+// already parked for releases them exactly as a last arrival would — at
+// max(arrival clocks) + SyncCost — while the dropper's own clock stays
+// untouched (it is leaving the rendezvous, not joining it).
+func TestBarrierDropReleasesWaiters(t *testing.T) {
+	e := NewEngine(3)
+	b := NewBarrier(3, 7)
+	e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Advance(500) // outlive both arrivals, then bow out
+			b.Drop(p)
+			if p.Now() != 500 {
+				t.Errorf("dropper advanced to %d, want 500", p.Now())
+			}
+			return
+		}
+		p.Advance(int64(p.ID) * 100)
+		b.Arrive(p)
+		if p.Now() != 207 { // max arrival 200 + sync cost 7
+			t.Errorf("proc %d resumed at %d, want 207", p.ID, p.Now())
+		}
+	})
+}
+
+// TestBarrierDropShrinksLaterRounds: a drop before anyone arrives lowers
+// the expected count for every subsequent round, and the barrier stays
+// reusable for the survivors.
+func TestBarrierDropShrinksLaterRounds(t *testing.T) {
+	e := NewEngine(3)
+	b := NewBarrier(3, 1)
+	e.Run(func(p *Proc) {
+		if p.ID == 2 {
+			b.Drop(p)
+			return
+		}
+		for round := 0; round < 3; round++ {
+			p.Advance(int64(p.ID+1) * 5)
+			b.Arrive(p)
+		}
+	})
+	if e.Proc(0).Now() != e.Proc(1).Now() {
+		t.Errorf("clocks diverged after dropped-participant rounds: %d vs %d",
+			e.Proc(0).Now(), e.Proc(1).Now())
+	}
+}
+
 func TestDeadlockDetection(t *testing.T) {
 	e := NewEngine(1)
 	var panicked atomic.Bool
