@@ -231,19 +231,30 @@ func compareBaseline(path string, workers, par int) error {
 	})
 }
 
-// --- Latency baseline (LATENCY_v1.json) -------------------------------------
+// --- Latency baselines (LATENCY_v1.json, LATENCY_v2.json) --------------------
 
-// writeLatencyBaseline measures the fixed latency sweep and writes the JSON
-// baseline.
-func writeLatencyBaseline(path string, workers, par int, progress func(string)) error {
-	return writeBaselineFile(path, 1, 0, bench.MeasureLatency(workers, par, progress))
+// latencyBaselineVersion distinguishes the stw-only v1 matrix (12 points)
+// from the both-collector v2 matrix (24 points, concurrent rows carrying the
+// mark-assist/barrier/window attribution).
+func latencyBaselineVersion(gcs []string) int {
+	if len(gcs) == 1 && gcs[0] == "" {
+		return 1
+	}
+	return 2
+}
+
+// writeLatencyBaseline measures the fixed latency sweep over the selected
+// collector modes and writes the JSON baseline.
+func writeLatencyBaseline(path string, gcs []string, workers, par int, progress func(string)) error {
+	return writeBaselineFile(path, latencyBaselineVersion(gcs), 0, bench.MeasureLatencyGC(gcs, workers, par, progress))
 }
 
 // compareLatencyBaseline re-measures the fixed latency sweep and fails on
-// any drift in the virtual fields (percentiles, attribution, checksums).
-func compareLatencyBaseline(path string, workers, par int, progress func(string)) error {
+// any drift in the virtual fields (percentiles, attribution, checksums; for
+// concurrent rows also the assist/barrier/STW-window accounting).
+func compareLatencyBaseline(path string, gcs []string, workers, par int, progress func(string)) error {
 	return compareBaselineFile(path, "latency", 0, func() ([]bench.LatencyPoint, error) {
-		return bench.MeasureLatency(workers, par, progress), nil
+		return bench.MeasureLatencyGC(gcs, workers, par, progress), nil
 	})
 }
 

@@ -24,8 +24,10 @@
 //	gcbench -all -par 4               # ... with 4 span workers per simulation (bit-identical)
 //	gcbench -baseline BENCH_v3.json   # record a perf baseline (JSON)
 //	gcbench -compare BENCH_v3.json    # fail on any virtual-time drift
+//	gcbench -latency -gc concurrent   # ... under the mostly-concurrent global collector
 //	gcbench -latency -baseline LATENCY_v1.json   # record the latency baseline
 //	gcbench -latency -compare LATENCY_v1.json    # latency drift gate
+//	gcbench -latency -gc both -compare LATENCY_v2.json  # both-collector latency gate
 //	gcbench -overload -compare OVERLOAD_v1.json  # overload drift gate
 //	gcbench -mempressure -compare MEMPRESSURE_v1.json  # memory-pressure drift gate
 //	gcbench -rackscale -compare SCALE_v1.json    # rack-scale drift gate
@@ -53,6 +55,7 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate all figures (4-7)")
 		server    = flag.Bool("server", false, "sweep the message-passing server workload (both machines, all three policies)")
 		latency   = flag.Bool("latency", false, "sweep the open-loop latency harness: tail latency under GC with pause attribution (fixed configuration)")
+		gcMode    = flag.String("gc", "stw", "with -latency: global collector(s) to sweep (stw, concurrent, both)")
 		overload  = flag.Bool("overload", false, "sweep the overload harness: goodput/SLO vs offered load per admission policy, with faulted points")
 		mempress  = flag.Bool("mempressure", false, "sweep the memory-pressure harness: bounded-heap budget ladder per admission policy, with squeeze-fault points")
 		rackscale = flag.Bool("rackscale", false, "sweep the rack-scale harness: full-core-count makespans and NUMA traffic split on the paper machines and rack presets")
@@ -106,6 +109,15 @@ func main() {
 	if btoi(*latency)+btoi(*overload)+btoi(*mempress)+btoi(*rackscale)+btoi(*failover) > 1 {
 		fatal(fmt.Errorf("-latency, -overload, -mempressure, -rackscale, and -failover are mutually exclusive sweeps"))
 	}
+	// The collector selector is validated whenever set (reject, never
+	// clamp) and only means anything to the latency sweep: every other
+	// sweep and baseline pins the legacy stop-the-world collector, so a
+	// stray -gc must fail loudly rather than silently measure the wrong
+	// collector.
+	gcModes, gcErr := bench.GCModes(*gcMode)
+	if gcErr != nil {
+		fatal(gcErr)
+	}
 
 	// The overload/mempressure knobs are validated whenever set (reject,
 	// never clamp) and only mean anything to a custom sweep: RunOverload
@@ -118,9 +130,11 @@ func main() {
 	scSweep := bench.DefaultScaleSweep()
 	foSweep := bench.DefaultFailoverSweep()
 	var loadsSet, budgetsSet, admSet, faultSeedSet, machinesSet, scaleSet bool
-	var crashSet, replicasSet bool
+	var crashSet, replicasSet, gcSet bool
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
+		case "gc":
+			gcSet = true
 		case "loads":
 			loadsSet = true
 		case "budgets":
@@ -153,6 +167,9 @@ func main() {
 	}
 	if (crashSet || replicasSet) && !*failover {
 		fatal(fmt.Errorf("-crash/-replicas only apply to the -failover sweep"))
+	}
+	if gcSet && !*latency {
+		fatal(fmt.Errorf("-gc only applies to the -latency sweep; every other sweep pins the stop-the-world collector"))
 	}
 	if *crashes != "" {
 		foSweep.Crashes = nil
@@ -256,6 +273,10 @@ func main() {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "baseline", "compare", "latency", "overload", "mempressure", "rackscale", "failover", "v", "j", "par":
+			case "gc":
+				// -gc selects which fixed latency matrix is measured: the
+				// v1 (stw) or v2 (both-collector) baseline. It is already
+				// confined to -latency above.
 			case "loads", "admission", "fault-seed", "budgets", "machines", "crash", "replicas":
 				if *baseline != "" || *compare != "" {
 					fatal(fmt.Errorf("-baseline/-compare use that sweep's fixed configuration; remove -%s", f.Name))
@@ -310,11 +331,11 @@ func main() {
 		case *overload:
 			fmt.Println(bench.RenderOverload(bench.MeasureOverload(sweep, *workers, *par, progress)))
 		case *latency && *baseline != "":
-			err = writeLatencyBaseline(*baseline, *workers, *par, progress)
+			err = writeLatencyBaseline(*baseline, gcModes, *workers, *par, progress)
 		case *latency && *compare != "":
-			err = compareLatencyBaseline(*compare, *workers, *par, progress)
+			err = compareLatencyBaseline(*compare, gcModes, *workers, *par, progress)
 		case *latency:
-			fmt.Println(bench.RenderLatency(bench.MeasureLatency(*workers, *par, progress)))
+			fmt.Println(bench.RenderLatency(bench.MeasureLatencyGC(gcModes, *workers, *par, progress)))
 		case *baseline != "":
 			err = writeBaseline(*baseline, *workers, *par)
 		default:

@@ -25,6 +25,7 @@
 //	gctrace -bench smvm -machine rack256 -p 256 -scale 0.1
 //	gctrace -latency                          # tail latency under GC, attribution table
 //	gctrace -latency -gap 100000 -policy single-node
+//	gctrace -latency -gc concurrent           # mostly-concurrent collector: window/assist/barrier attribution
 //	gctrace -overload -p 16 -gap 80000 -admission deadline
 //	gctrace -overload -p 16 -gap 40000 -admission queue -fault-seed 0xfa115afe
 //	gctrace -mempressure -p 16 -gap 40000 -admission memory -budget 24
@@ -68,8 +69,20 @@ func main() {
 		budget    = flag.Int("budget", 0, "with -mempressure: global heap budget in chunks (0 = unbounded)")
 		par       = flag.Int("par", 1, "span workers: the engine drains interaction-free idle machines concurrently between conservative windows (results are identical for any value)")
 		spans     = flag.Bool("spans", false, "print the span-parallelism report: windows opened, span widths, and what closed each window")
+		gcMode    = flag.String("gc", "stw", "global collector (stw, concurrent)")
 	)
 	flag.Parse()
+
+	// Reject, never clamp: an unknown collector name must not silently run
+	// the default and report numbers for the wrong collector.
+	var concurrentGC bool
+	switch *gcMode {
+	case "stw":
+	case "concurrent":
+		concurrentGC = true
+	default:
+		fatal(fmt.Errorf("unknown -gc mode %q (stw, concurrent)", *gcMode))
+	}
 
 	topo, err := numa.Preset(*machine)
 	if err != nil {
@@ -185,6 +198,7 @@ func main() {
 		cfg.Policy = pol
 	}
 	cfg.SpanWorkers = *par
+	cfg.ConcurrentGlobal = concurrentGC
 	rt := core.MustNewRuntime(cfg)
 
 	var counts [core.NumEventKinds]int
@@ -251,10 +265,21 @@ func main() {
 	fmt.Printf("elapsed (virtual): %.3f ms   checksum: %#x\n\n", float64(res.ElapsedNs)/1e6, res.Check)
 
 	fmt.Println("collection phases:")
-	for _, k := range []core.EventKind{core.EvMinor, core.EvMajor, core.EvPromote, core.EvGlobalEnd, core.EvEmergency} {
+	for _, k := range []core.EventKind{core.EvMinor, core.EvMajor, core.EvPromote, core.EvGlobalEnd, core.EvSnapshot, core.EvTermination, core.EvEmergency} {
 		label := k.String()
 		if k == core.EvGlobalEnd {
 			label = "global"
+			if concurrentGC {
+				// The concurrent cycle's span is mutator-interleaved
+				// mark time, not a pause; the two window rows below
+				// carry the actual stop-the-world durations.
+				label = "global-cycle"
+			}
+		}
+		if (k == core.EvSnapshot || k == core.EvTermination) && !concurrentGC {
+			// The STW collector never emits window events; keep its
+			// phase table byte-identical to the classic views.
+			continue
 		}
 		if k == core.EvEmergency && !*mempress {
 			// Emergency ladder walks only exist under a bounded heap;
@@ -372,6 +397,14 @@ func main() {
 		rt.Chunks.Created, rt.Chunks.Reused, rt.Stats.CrossNodeScanned)
 	fmt.Printf("  local GC time      %10.3f ms, global GC time %.3f ms\n",
 		float64(s.GCNs)/1e6, float64(rt.Stats.GlobalNs)/1e6)
+	if concurrentGC {
+		fmt.Printf("  mark assists       %10d words scanned in %.3f ms of mutator assist time\n",
+			s.MarkAssistWords, float64(s.MarkAssistNs)/1e6)
+		fmt.Printf("  write barrier      %10d shades that evacuated (%.3f ms charged)\n",
+			s.BarrierHits, float64(s.BarrierNs)/1e6)
+		fmt.Printf("  stw windows        %10.3f ms snapshot + %.3f ms termination across %d cycles\n",
+			float64(rt.Stats.SnapshotNs)/1e6, float64(rt.Stats.TermNs)/1e6, rt.Stats.GlobalGCs)
+	}
 
 	traffic := rt.Machine.Stats()
 	fmt.Println("\nmodelled traffic:")

@@ -31,6 +31,12 @@ type LatencyPoint struct {
 	Clients   int    `json:"clients"`
 	Requests  int    `json:"requests"`
 
+	// GC selects the global collector: "" is the legacy stop-the-world
+	// collector (the only mode of the v1 baseline — omitted from the JSON
+	// so v1-era rows stay byte-identical), "concurrent" the
+	// mostly-concurrent collector.
+	GC string `json:"gc,omitempty"`
+
 	VirtualMs float64 `json:"virtual_ms"`
 	Check     uint64  `json:"check"`
 
@@ -51,11 +57,26 @@ type LatencyPoint struct {
 
 	GlobalGCs int   `json:"global_gcs"`
 	WallNs    int64 `json:"wall_ns"`
+
+	// Concurrent-collector attribution (all zero — and omitted from the
+	// JSON — under the stop-the-world collector, keeping those rows
+	// byte-identical to the v1 baseline). Virtual and deterministic like
+	// every other field.
+	MarkAssistWords int64 `json:"mark_assist_words,omitempty"`
+	MarkAssistNs    int64 `json:"mark_assist_ns,omitempty"`
+	BarrierHits     int64 `json:"barrier_hits,omitempty"`
+	BarrierNs       int64 `json:"barrier_ns,omitempty"`
+	SnapshotStwNs   int64 `json:"snapshot_stw_ns,omitempty"`
+	TermStwNs       int64 `json:"termination_stw_ns,omitempty"`
 }
 
 // Key identifies the point's configuration.
 func (p LatencyPoint) Key() string {
-	return fmt.Sprintf("%s %s p=%d %s-load", p.Machine, p.Policy, p.Threads, p.Load)
+	k := fmt.Sprintf("%s %s p=%d %s-load", p.Machine, p.Policy, p.Threads, p.Load)
+	if p.GC != "" {
+		k += " gc=" + p.GC
+	}
+	return k
 }
 
 // latencyLoad is one offered-load level of the sweep.
@@ -107,8 +128,33 @@ func LatencyOptionsFor(meanGapNs int64) workload.LatencyOptions {
 	}
 }
 
-// LatencyPoints enumerates the sweep: machine × policy × offered load.
+// GCModes resolves a -gc selector into the sweep's collector-mode list:
+// "stw" is the legacy stop-the-world collector (the empty mode string, so
+// those points keep their v1 identity), "concurrent" the mostly-concurrent
+// collector, "both" the full v2 matrix. Anything else is rejected, never
+// clamped.
+func GCModes(sel string) ([]string, error) {
+	switch sel {
+	case "stw":
+		return []string{""}, nil
+	case "concurrent":
+		return []string{"concurrent"}, nil
+	case "both":
+		return []string{"", "concurrent"}, nil
+	default:
+		return nil, fmt.Errorf("unknown -gc mode %q (stw, concurrent, both)", sel)
+	}
+}
+
+// LatencyPoints enumerates the sweep: machine × policy × offered load, under
+// the stop-the-world collector (the v1 matrix).
 func LatencyPoints() []LatencyPoint {
+	return LatencyPointsGC([]string{""})
+}
+
+// LatencyPointsGC enumerates the sweep per collector mode: gc-mode × machine
+// × policy × offered load.
+func LatencyPointsGC(gcs []string) []LatencyPoint {
 	machines := []struct {
 		name    string
 		threads int
@@ -118,18 +164,21 @@ func LatencyPoints() []LatencyPoint {
 	}
 	policies := []mempage.Policy{mempage.PolicyLocal, mempage.PolicyInterleaved, mempage.PolicySingleNode}
 	var pts []LatencyPoint
-	for _, m := range machines {
-		for _, pol := range policies {
-			for _, ld := range latencyLoads {
-				pts = append(pts, LatencyPoint{
-					Machine:   m.name,
-					Policy:    pol.String(),
-					Threads:   m.threads,
-					Load:      ld.name,
-					MeanGapNs: ld.meanGapNs,
-					Clients:   latencyShape.clients,
-					Requests:  latencyShape.requests,
-				})
+	for _, gc := range gcs {
+		for _, m := range machines {
+			for _, pol := range policies {
+				for _, ld := range latencyLoads {
+					pts = append(pts, LatencyPoint{
+						Machine:   m.name,
+						Policy:    pol.String(),
+						Threads:   m.threads,
+						Load:      ld.name,
+						MeanGapNs: ld.meanGapNs,
+						Clients:   latencyShape.clients,
+						Requests:  latencyShape.requests,
+						GC:        gc,
+					})
+				}
 			}
 		}
 	}
@@ -142,7 +191,14 @@ func LatencyPoints() []LatencyPoint {
 // scheduler is bit-identical at every parallelism); progress lines stream in
 // completion order.
 func MeasureLatency(workers, par int, progress func(string)) []LatencyPoint {
-	pts := LatencyPoints()
+	return MeasureLatencyGC([]string{""}, workers, par, progress)
+}
+
+// MeasureLatencyGC runs the sweep over the given collector modes (see
+// GCModes); mode "" is the stop-the-world collector and reproduces the v1
+// points exactly.
+func MeasureLatencyGC(gcs []string, workers, par int, progress func(string)) []LatencyPoint {
+	pts := LatencyPointsGC(gcs)
 	if workers < 1 {
 		workers = 1
 	}
@@ -174,6 +230,7 @@ func MeasureLatency(workers, par int, progress func(string)) []LatencyPoint {
 				pt := &pts[i]
 				cfg := LatencyConfig(topos[i], pols[i], pt.Threads)
 				cfg.SpanWorkers = par
+				cfg.ConcurrentGlobal = pt.GC == "concurrent"
 				rt := core.MustNewRuntime(cfg)
 				start := time.Now()
 				res := workload.RunLatency(rt, LatencyOptionsFor(pt.MeanGapNs))
@@ -190,6 +247,14 @@ func MeasureLatency(workers, par int, progress func(string)) []LatencyPoint {
 				pt.TailLocalNs = res.Tail.Local.MeanNs
 				pt.TailGlobalMax = res.Tail.Global.MaxNs
 				pt.GlobalGCs = rt.Stats.GlobalGCs
+				// Zero under the stop-the-world collector; recorded (and
+				// compared) only when the concurrent machinery ran.
+				pt.MarkAssistWords = res.Stats.MarkAssistWords
+				pt.MarkAssistNs = res.Stats.MarkAssistNs
+				pt.BarrierHits = res.Stats.BarrierHits
+				pt.BarrierNs = res.Stats.BarrierNs
+				pt.SnapshotStwNs = rt.Stats.SnapshotNs
+				pt.TermStwNs = rt.Stats.TermNs
 				if progress != nil {
 					progressMu.Lock()
 					progress(fmt.Sprintf("%s: p50 %.1fus p99.9 %.1fus tail-global %.1fus (%d global GCs, %s wall)",

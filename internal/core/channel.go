@@ -211,16 +211,20 @@ func (ch *Channel) Close() {
 	// each was registered at Send and would otherwise stay a GC root of
 	// its owner (retaining the payload) for the life of the run, even
 	// though the only path to it is this dying chain.
+	// During a concurrent mark the chain can mix from-space nodes with
+	// evacuated copies; resolve each link so the walk reads live copies
+	// (registered proxies are already to-space, but the node slots may
+	// still name their old addresses). Host-side and chargeless.
 	p := rt.Space.Payload(ch.addr)
-	for n := heap.Addr(p[chanHeadSlot]); n != 0; {
+	for n := rt.resolveAddr(heap.Addr(p[chanHeadSlot])); n != 0; {
 		np := rt.Space.Payload(n)
-		proxy := heap.Addr(np[qnodeMsgSlot])
+		proxy := rt.resolveAddr(heap.Addr(np[qnodeMsgSlot]))
 		pp := rt.Space.Payload(proxy)
 		owner := rt.VProcs[pp[heap.ProxyOwnerSlot]]
 		if _, ok := owner.proxyIdx[proxy]; ok {
 			owner.dropProxy(proxy)
 		}
-		n = heap.Addr(np[qnodeNextSlot])
+		n = rt.resolveAddr(heap.Addr(np[qnodeNextSlot]))
 	}
 	rt.unregisterGlobalRoot(&ch.addr)
 	ch.addr = 0
@@ -304,10 +308,10 @@ func (ch *Channel) PendingProxies() []heap.Addr {
 	rt := ch.rt
 	var out []heap.Addr
 	p := rt.Space.Payload(ch.addr)
-	for n := heap.Addr(p[chanHeadSlot]); n != 0; {
+	for n := rt.resolveAddr(heap.Addr(p[chanHeadSlot])); n != 0; {
 		np := rt.Space.Payload(n)
-		out = append(out, heap.Addr(np[qnodeMsgSlot]))
-		n = heap.Addr(np[qnodeNextSlot])
+		out = append(out, rt.resolveAddr(heap.Addr(np[qnodeMsgSlot])))
+		n = rt.resolveAddr(heap.Addr(np[qnodeNextSlot]))
 	}
 	return out
 }
@@ -420,7 +424,12 @@ func (ch *Channel) send(vp *VProc, slot int, try bool) SendStatus {
 		np[qnodeMsgSlot] = uint64(vp.Root(ps))
 		np[qnodeNextSlot] = 0
 		vp.PopRoots(1)
-		tail := heap.Addr(p[chanTailSlot])
+		// Resolve the tail in the commit's own segment: during a concurrent
+		// mark an assist may have evacuated the tail node, and the record's
+		// slot still names the from-space copy — the link must land in the
+		// live copy or the message is lost. Chargeless, and the identity
+		// outside a mark.
+		tail := vp.resolve(heap.Addr(p[chanTailSlot]))
 		linkNode := rt.Space.NodeOf(rec)
 		if tail != 0 {
 			rt.Space.Payload(tail)[qnodeNextSlot] = uint64(nd)
@@ -458,12 +467,24 @@ func (ch *Channel) popPending(vp *VProc, head heap.Addr) heap.Addr {
 	rt := ch.rt
 	rec := ch.addr
 	p := rt.Space.Payload(rec)
+	// The head slot can name a from-space copy during a concurrent mark
+	// (the record's links are only healed at mark termination); a sender
+	// that linked a successor after the node's evacuation wrote it into the
+	// to-space copy, so the read must go through the live copy too.
+	head = vp.resolve(head)
 	np := rt.Space.Payload(head)
 	proxy := heap.Addr(np[qnodeMsgSlot])
 	next := heap.Addr(np[qnodeNextSlot])
 	p[chanHeadSlot] = uint64(next)
 	if next == 0 {
 		p[chanTailSlot] = 0
+	} else {
+		// During a concurrent mark the successor link just read may be a
+		// from-space address (the node was unscanned) now stored in a
+		// possibly-black record; mark the record for the termination
+		// window's rescan instead of shading here, which would advance
+		// mid-commit.
+		vp.gcDirtyRoot(rec)
 	}
 	p[chanCountSlot]--
 	// Node read plus record writeback, fused (the node itself becomes

@@ -81,6 +81,22 @@ type Config struct {
 	// the host-time cost of token handoffs.
 	NoStepKernels bool
 
+	// ConcurrentGlobal replaces the stop-the-world global collection with
+	// the mostly-concurrent design: a tri-color incremental mark
+	// interleaved with mutator steps, bracketed by two short STW windows
+	// (root snapshot and mark termination), with a Dijkstra-style
+	// insertion write barrier on global-pointer stores and mark assists
+	// paced by a GOGC-style trigger. Off (the default), the legacy STW
+	// collector runs and every schedule is bit-identical to the
+	// pre-concurrent baselines.
+	ConcurrentGlobal bool
+	// GCPercent is the pacer's heap-growth goal in percent, GOGC-style:
+	// the next concurrent cycle aims to finish before the active global
+	// heap grows past survived*(1+GCPercent/100) words. 0 means 100.
+	// Negative is rejected. Only consulted when ConcurrentGlobal is set;
+	// the STW collector keeps its fixed GlobalTriggerWords trigger.
+	GCPercent int
+
 	// Debug runs the whole-heap invariant verifier after every
 	// collection phase. Slow; for tests.
 	Debug bool
@@ -172,6 +188,12 @@ func (c *Config) normalize() error {
 	}
 	if c.SpanWorkers < 0 {
 		return fmt.Errorf("core: SpanWorkers %d negative", c.SpanWorkers)
+	}
+	if c.GCPercent < 0 {
+		return fmt.Errorf("core: GCPercent %d negative", c.GCPercent)
+	}
+	if c.GCPercent == 0 {
+		c.GCPercent = 100
 	}
 	if c.GlobalBudgetChunks > 0 && c.GlobalBudgetChunks < c.NumVProcs {
 		// Every vproc must be able to hold at least one global chunk or

@@ -143,13 +143,14 @@ func (vp *VProc) crash() {
 	}
 	vp.owned = nil
 
-	// Leave the stop-the-world protocol. If a collection is pending and
-	// this vproc was its leader, leadership moves to the lowest live vproc
+	// Leave the stop-the-world protocol. If a collection is pending (or,
+	// in concurrent mode, a mark or termination is in flight) and this
+	// vproc was its leader, leadership moves to the lowest live vproc
 	// (which cannot have passed the entry barrier: a pending collection
 	// holds everyone there until all participants — including this one —
 	// arrive). Dropping the entry barrier may release the parked field.
 	g := &rt.global
-	if g.pending && g.leader == vp.ID {
+	if (g.pending || g.marking || g.termPending) && g.leader == vp.ID {
 		for _, o := range rt.VProcs {
 			if !o.crashed {
 				g.leader = o.ID
@@ -157,10 +158,24 @@ func (vp *VProc) crash() {
 			}
 		}
 	}
+	if g.marking {
+		// The dead vproc's gray set is adopted like its heap: its current
+		// chunk may still hold unscanned data that no assist can reach
+		// through the scan lists (globalScanDrained checks curChunks, but
+		// only live vprocs drain their own). Hand it to the lists and
+		// detach it so the mark can terminate.
+		if c := vp.curChunk; c != nil && c.Scan < c.Top {
+			rt.enqueueScan(c)
+		}
+		vp.curChunk = nil
+	}
 	g.entry.Drop(vp.proc)
 	g.setup.Drop(vp.proc)
 	g.scanDone.Drop(vp.proc)
 	g.finish.Drop(vp.proc)
+	g.termEntry.Drop(vp.proc)
+	g.termScanDone.Drop(vp.proc)
+	g.termFinish.Drop(vp.proc)
 
 	panic(vprocCrashed{})
 }

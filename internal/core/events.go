@@ -18,11 +18,19 @@ const (
 	// a mutator allocation gate found no global-heap headroom and forced
 	// a full minor → major → global escalation before retrying.
 	EvEmergency
+	// EvSnapshot is the concurrent collector's first STW window: all
+	// vprocs rendezvous, the from-space is condemned, and every root is
+	// snapshotted into to-space. Ns is the window duration.
+	EvSnapshot
+	// EvTermination is the concurrent collector's second STW window: the
+	// mark is drained to completion, local forwarding is repaired, and
+	// the from-space is released. Ns is the window duration.
+	EvTermination
 )
 
 // NumEventKinds is the number of distinct event kinds, for tracers that
 // aggregate counts per kind into fixed-size arrays.
-const NumEventKinds = int(EvEmergency) + 1
+const NumEventKinds = int(EvTermination) + 1
 
 // String names the event kind.
 func (k EventKind) String() string {
@@ -39,6 +47,10 @@ func (k EventKind) String() string {
 		return "global-end"
 	case EvEmergency:
 		return "emergency"
+	case EvSnapshot:
+		return "stw-snapshot"
+	case EvTermination:
+		return "stw-termination"
 	default:
 		return "unknown"
 	}

@@ -18,15 +18,32 @@ import (
 // and from-space chunks return to the free pool (node-affine) at the end.
 type globalState struct {
 	pending bool
-	// scanning is true during the parallel scan phase; getChunk consults
-	// it to queue replaced chunks that still hold unscanned data.
+	// scanning is true while from-space chunks exist: the whole STW scan
+	// phase in legacy mode, and the whole snapshot→termination cycle in
+	// concurrent mode. getChunk consults it to queue replaced chunks that
+	// still hold unscanned data.
 	scanning bool
 	leader   int
+
+	// Concurrent-mode cycle state (ConcurrentGlobal). marking is true
+	// between the snapshot window and the termination window: mutators
+	// run, the write barrier is armed, and assists drain gray chunks.
+	// termPending signals the termination rendezvous the way pending
+	// signals the snapshot one.
+	marking     bool
+	termPending bool
 
 	entry    *vtime.Barrier
 	setup    *vtime.Barrier
 	scanDone *vtime.Barrier
 	finish   *vtime.Barrier
+
+	// Termination-window barriers (concurrent mode only). Separate from
+	// the snapshot set so a crash mid-mark can drop the dead vproc from
+	// both rendezvous independently.
+	termEntry    *vtime.Barrier
+	termScanDone *vtime.Barrier
+	termFinish   *vtime.Barrier
 
 	// scanByNode holds to-space chunks with unscanned data, grouped by
 	// the node their pages live on.
@@ -34,6 +51,27 @@ type globalState struct {
 	fromChunks []*heap.Chunk
 	copied     int64
 	startNs    int64
+
+	// Pacer state (concurrent mode). trigger is the next cycle's start
+	// threshold in active global words (0 = use Cfg.GlobalTriggerWords);
+	// markStartAllocated records the active words at snapshot so the
+	// cycle's concurrent allocation rate can set the next headroom.
+	// windowStart times the current STW window; termStartNs stamps the
+	// termination request.
+	trigger            int
+	markStartAllocated int
+	termStartNs        int64
+	windowStart        int64
+
+	// dirtyRoots lists the registered global-root objects whose traced
+	// slots were rewritten during the current mark with addresses read out
+	// of unscanned data (channel records popping their head link) — the
+	// one store path that can plant a from-space reference in an
+	// already-black object without the insertion barrier. The termination
+	// window rescans exactly these instead of every registered root.
+	// Appended in virtual-time order, so the set is deterministic.
+	dirtyRoots []heap.Addr
+	dirtySet   map[heap.Addr]bool
 }
 
 func (g *globalState) init(rt *Runtime) {
@@ -43,6 +81,9 @@ func (g *globalState) init(rt *Runtime) {
 	g.setup = vtime.NewBarrier(n, c)
 	g.scanDone = vtime.NewBarrier(n, c)
 	g.finish = vtime.NewBarrier(n, c)
+	g.termEntry = vtime.NewBarrier(n, c)
+	g.termScanDone = vtime.NewBarrier(n, c)
+	g.termFinish = vtime.NewBarrier(n, c)
 	g.scanByNode = make([][]*heap.Chunk, rt.Cfg.Topo.NumNodes())
 }
 
@@ -87,6 +128,15 @@ func (rt *Runtime) requestGlobalGC(vp *VProc) {
 // path must too.
 func (vp *VProc) participateGlobal() {
 	vp.waitHeapIdle()
+	if vp.rt.Cfg.ConcurrentGlobal {
+		// Concurrent mode: the rendezvous is only the snapshot window —
+		// no minor/major first (the root walk covers the nursery), no
+		// draining scan. The mark proceeds interleaved with mutators.
+		if vp.rt.global.pending {
+			vp.globalSnapshot()
+		}
+		return
+	}
 	vp.minorGC()
 	if vp.rt.global.pending {
 		vp.globalCollect()
@@ -126,7 +176,7 @@ func (vp *VProc) globalCollect() {
 	// reachable from-space objects into fresh to-space chunks obtained
 	// on its own node, then participates in parallel per-node chunk
 	// scanning until no unscanned chunks remain anywhere.
-	vp.globalScanRoots()
+	vp.globalScanRoots(false)
 	if vp.ID == g.leader {
 		for _, pa := range rt.globalRoots {
 			*pa = vp.globalForward(*pa)
@@ -317,17 +367,23 @@ func (vp *VProc) globalCopy(a heap.Addr, h uint64, dst *heap.Chunk) (heap.Addr, 
 // finely interleaved copy charges cost inline steps, not goroutine
 // handoffs; the NoStepKernels ablation forces the direct form, which is
 // schedule-identical.
-func (vp *VProc) globalScanRoots() {
+//
+// withNursery extends the local-heap walk over the live nursery
+// [NurseryStart, Alloc): the concurrent collector's STW windows skip the
+// minor/major collections the legacy protocol runs first, so nursery data
+// is part of the root set there. The legacy path passes false and is
+// untouched.
+func (vp *VProc) globalScanRoots(withNursery bool) {
 	if vp.rt.Cfg.NoStepKernels {
-		vp.globalScanRootsDirect()
+		vp.globalScanRootsDirect(withNursery)
 		return
 	}
-	vp.globalScanRootsStep()
+	vp.globalScanRootsStep(withNursery)
 }
 
 // globalScanRootsDirect is the direct-style root walk: every copy charge is
 // its own Advance.
-func (vp *VProc) globalScanRootsDirect() {
+func (vp *VProc) globalScanRootsDirect(withNursery bool) {
 	rt := vp.rt
 	fw := vp.globalForward
 	for i, a := range vp.roots {
@@ -369,24 +425,32 @@ func (vp *VProc) globalScanRootsDirect() {
 	// minor+major).
 	lh := vp.Local
 	words := lh.Region.Words
-	for scan := 1; scan < lh.OldTop; {
-		h := words[scan]
-		var n int
-		if heap.IsHeader(h) {
-			obj := heap.MakeAddr(lh.Region.ID, scan+1)
-			heap.ScanObject(rt.Space, rt.Descs, obj, func(_ int, p heap.Addr) heap.Addr {
-				return fw(p)
-			})
-			n = heap.HeaderLen(h)
-		} else {
-			n = rt.Space.ObjectLen(heap.ForwardTarget(h))
+	walkRange := func(lo, hi int) {
+		for scan := lo; scan < hi; {
+			h := words[scan]
+			var n int
+			if heap.IsHeader(h) {
+				obj := heap.MakeAddr(lh.Region.ID, scan+1)
+				heap.ScanObject(rt.Space, rt.Descs, obj, func(_ int, p heap.Addr) heap.Addr {
+					return fw(p)
+				})
+				n = heap.HeaderLen(h)
+			} else {
+				n = rt.Space.ObjectLen(heap.ForwardTarget(h))
+			}
+			scan += n + 1
 		}
-		scan += n + 1
+	}
+	walked := lh.OldTop - 1
+	walkRange(1, lh.OldTop)
+	if withNursery {
+		walkRange(lh.NurseryStart, lh.Alloc)
+		walked += lh.Alloc - lh.NurseryStart
 	}
 	// Charge the local-heap walk as a single streaming read: the whole
 	// walk is one fused charge (the maximal batch), not one per object.
 	node := rt.Space.NodeOf(heap.MakeAddr(lh.Region.ID, 1))
-	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, (lh.OldTop-1)*8, numa.AccessCache))
+	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, walked*8, numa.AccessCache))
 }
 
 // repairLocalForwarding rewrites the promotion forwarding words of this
@@ -427,8 +491,15 @@ func (vp *VProc) repairForwardingRange(lo, hi int) {
 			n = heap.HeaderLen(h)
 		} else {
 			t := heap.ForwardTarget(h)
-			th := rt.Space.Header(t)
-			if heap.IsHeader(th) {
+			if c := rt.Chunks.ChunkOf(t.RegionID()); c != nil && !c.FromSpace {
+				// The target is already a live to-space object: a
+				// promotion that ran during the concurrent mark forwarded
+				// straight into to-space. The word is correct as it
+				// stands. (In the legacy STW protocol every chunk is
+				// condemned before any repair runs, so this arm never
+				// fires there.)
+				n = rt.Space.ObjectLen(t)
+			} else if th := rt.Space.Header(t); heap.IsHeader(th) {
 				// Unevacuated: dead with its chunk.
 				n = heap.HeaderLen(th)
 				words[scan] = heap.MakeHeader(heap.IDRaw, n)

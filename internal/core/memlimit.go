@@ -65,13 +65,20 @@ func (vp *VProc) ensureGlobalHeadroom() AllocStatus {
 	// Emergency escalation. Requesting the collection zeroes every
 	// vproc's limit pointer; participateGlobal then runs this vproc's
 	// minor collection (which escalates to a major while the global is
-	// pending, §3.3) and joins the parallel global phase.
+	// pending, §3.3) and joins the parallel global phase. Under the
+	// concurrent collector memory only frees at the cycle's termination,
+	// so the emergency path drives the whole in-flight cycle to completion
+	// instead.
 	start := vp.Now()
 	vp.Stats.EmergencyGCs++
-	if !rt.global.pending {
-		rt.requestGlobalGC(vp)
+	if rt.Cfg.ConcurrentGlobal {
+		vp.emergencyConcurrent()
+	} else {
+		if !rt.global.pending {
+			rt.requestGlobalGC(vp)
+		}
+		vp.participateGlobal()
 	}
-	vp.participateGlobal()
 	rt.emit(GCEvent{Kind: EvEmergency, VProc: vp.ID, At: vp.Now(), Ns: vp.Now() - start})
 
 	if rt.Chunks.HasHeadroom(vp.ID) {

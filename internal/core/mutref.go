@@ -43,7 +43,15 @@ func (vp *VProc) StoreGlobalPtr(obj heap.Addr, i int, valSlot int) {
 		panic(fmt.Sprintf("core: StoreGlobalPtr target %v is not in the global heap", obj))
 	}
 	val := vp.Promote(vp.roots[valSlot])
+	// Concurrent-mark insertion barrier: a promoted value can pass through
+	// as a still-white (from-space) global address; shade it before it
+	// becomes reachable from a possibly-black object.
+	val = vp.gcWriteBarrier(val)
 	vp.roots[valSlot] = val
+	// The promotion and barrier advances may have let an assist evacuate
+	// obj; re-resolve in the same segment as the store so the write lands
+	// in the live copy (identity outside a concurrent mark).
+	obj = vp.resolve(obj)
 	rt.Space.Payload(obj)[i] = uint64(val)
 	node := rt.Space.NodeOf(obj)
 	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, 8, numa.AccessMemory))
@@ -54,6 +62,7 @@ func (vp *VProc) StoreGlobalPtr(obj heap.Addr, i int, valSlot int) {
 func (vp *VProc) NewRef(initSlot int) heap.Addr {
 	rt := vp.rt
 	init := vp.Promote(vp.roots[initSlot])
+	init = vp.gcWriteBarrier(init)
 	vp.roots[initSlot] = init
 	dst := rt.globalAllocDst(vp, 1)
 	ref := dst.Bump(heap.MakeHeader(heap.IDVector, 1))
@@ -82,7 +91,11 @@ func (vp *VProc) WriteRef(ref heap.Addr, valSlot int) {
 		panic(fmt.Sprintf("core: WriteRef target %v is not in the global heap", ref))
 	}
 	val := vp.Promote(vp.roots[valSlot])
+	// Same discipline as StoreGlobalPtr: shade the stored value, then
+	// re-resolve the cell in the store's own segment.
+	val = vp.gcWriteBarrier(val)
 	vp.roots[valSlot] = val
+	ref = vp.resolve(ref)
 	rt.Space.Payload(ref)[0] = uint64(val)
 	node := rt.Space.NodeOf(ref)
 	vp.advance(rt.Machine.AccessCost(vp.Now(), vp.Core, node, 8, numa.AccessMemory))

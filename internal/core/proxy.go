@@ -94,6 +94,13 @@ func (vp *VProc) ProxyDeref(proxy heap.Addr) heap.Addr {
 	local := heap.Addr(p[heap.ProxyLocalSlot])
 	g := vp.promoteFrom(owner, local)
 	owner.heapBusy = false
+	// Concurrent-mark insertion barrier: promoteFrom passes an
+	// already-global address through unchanged, which during a mark can be
+	// a still-white (from-space) object — and this store publishes it in a
+	// proxy that may already be black. Shade before caching. (The proxy
+	// itself is stable: every registered proxy is forwarded to to-space in
+	// the snapshot window, so p stays valid across the advances above.)
+	g = vp.gcWriteBarrier(g)
 	p[heap.ProxyGlobalSlot] = uint64(g)
 	p[heap.ProxyLocalSlot] = 0
 	owner.dropProxy(proxy)

@@ -94,6 +94,10 @@ type RTStats struct {
 	// after the most recent global collection — the post-GC survival
 	// component of the occupancy signal. Zero until the first global GC.
 	LastGlobalSurvivedWords int
+	// SnapshotNs / TermNs accumulate the concurrent collector's two STW
+	// window durations (leader-timed); zero under the legacy collector.
+	SnapshotNs int64
+	TermNs     int64
 }
 
 // MemPressure is the runtime's deterministic occupancy signal, sampled on
@@ -251,7 +255,9 @@ func (rt *Runtime) getChunkFinish(vp *VProc, c *heap.Chunk) {
 	// chunkage exceeds the threshold. Checking here covers every growth
 	// path (major collections, promotions, proxies, refs). The request
 	// only raises the flag; collection starts at the next safepoint.
-	if !rt.global.pending && rt.Chunks.AllocatedWords > rt.Cfg.GlobalTriggerWords {
+	// Under the concurrent collector the threshold is the pacer's moving
+	// trigger, and it is inert for the whole mark (gcTrigger).
+	if !rt.global.pending && rt.Chunks.AllocatedWords > rt.gcTrigger() {
 		rt.requestGlobalGC(vp)
 	}
 }
@@ -264,6 +270,11 @@ func (rt *Runtime) globalAllocDst(vp *VProc, payloadWords int) *heap.Chunk {
 	}
 	if vp.curChunk == nil || !vp.curChunk.CanAlloc(payloadWords) {
 		rt.getChunk(vp)
+	}
+	if rt.global.marking {
+		// Allocation-paced assists: global allocation during a concurrent
+		// mark accrues scan debt this vproc pays at its next safepoint.
+		vp.assistDebt += payloadWords + 1
 	}
 	return vp.curChunk
 }
@@ -327,6 +338,10 @@ func (rt *Runtime) TotalStats() VPStats {
 		t.LostTasks += vp.Stats.LostTasks
 		t.LostConts += vp.Stats.LostConts
 		t.LostTimers += vp.Stats.LostTimers
+		t.BarrierHits += vp.Stats.BarrierHits
+		t.BarrierNs += vp.Stats.BarrierNs
+		t.MarkAssistWords += vp.Stats.MarkAssistWords
+		t.MarkAssistNs += vp.Stats.MarkAssistNs
 	}
 	return t
 }

@@ -291,6 +291,7 @@ const (
 	sweepExhausted        // one-shot sweep found nothing (trySteal)
 	sweepFault            // a fault-plan event came due (run it off-machine)
 	sweepTimer            // a timer deadline was reached (fire it off-machine, re-enter)
+	sweepMark             // a concurrent mark needs assist work (run it off-machine)
 )
 
 // sweep runs the vproc's steal-probe machine — and, unless oneShot, the
@@ -344,7 +345,7 @@ func (vp *VProc) sweep(join *Task, oneShot bool) (outcome int, victim *VProc) {
 			if vp.Local.LimitZeroed() {
 				vp.Local.RestoreLimit()
 			}
-			if rt.global.pending {
+			if rt.global.pending || rt.global.termPending {
 				outcome = sweepPreempt
 				return 0, true
 			}
@@ -361,6 +362,14 @@ func (vp *VProc) sweep(join *Task, oneShot bool) (outcome int, victim *VProc) {
 			}
 			if vp.queue.size() > 0 {
 				outcome = sweepRunLocal
+				return 0, true
+			}
+			if vp.gcMarkAttention() {
+				// A concurrent mark has gray work (or is ready to
+				// terminate) and this vproc is idle: assists advance and
+				// mutate shared scan state, which is illegal inside this
+				// step function; exit so the caller runs them.
+				outcome = sweepMark
 				return 0, true
 			}
 			k = 1
@@ -474,6 +483,11 @@ func (vp *VProc) checkPreempt() {
 	if vp.rt.global.pending {
 		vp.participateGlobal()
 	}
+	if vp.rt.global.termPending {
+		vp.participateTermination()
+	} else if vp.rt.global.marking {
+		vp.gcMarkPoint()
+	}
 	if vp.timers.Len() != 0 {
 		vp.fireDueTimers()
 	}
@@ -517,20 +531,30 @@ func (vp *VProc) schedulerLoop() {
 			vp.runTask(vp.stealFrom(victim))
 		case sweepFault:
 			continue // loop-top checkPreempt drains the pending faults
+		case sweepMark:
+			// Idle vproc during a concurrent mark: drain gray chunks
+			// (or trigger termination) and re-run the loop-top checks.
+			vp.gcMarkIdle()
+			continue
 		case sweepRunLocal, sweepPreempt:
 			// The sweep's loop-top already performed this
 			// iteration's preemption checks; service the signal (if
 			// any) and go straight to the work queue, as the plain
 			// loop's checkPreempt→findWork sequence would.
 			if out == sweepPreempt {
-				vp.participateGlobal()
+				vp.participateGC()
 			}
 			goto work
 		case sweepQuiesce:
-			// Do not exit with a global collection pending: the
-			// stop-the-world barrier needs every vproc.
-			if rt.global.pending {
-				vp.participateGlobal()
+			// Do not exit with a global collection mid-cycle: the
+			// rendezvous barriers need every vproc, and a concurrent
+			// mark must drain and terminate before the run ends.
+			if rt.global.pending || rt.global.termPending {
+				vp.participateGC()
+				continue
+			}
+			if rt.global.marking {
+				vp.gcMarkIdle()
 				continue
 			}
 			return
@@ -560,9 +584,12 @@ func (vp *VProc) Join(t *Task) {
 			vp.runTask(vp.stealFrom(victim))
 		case sweepFault:
 			continue // loop-top checkPreempt drains the pending faults
+		case sweepMark:
+			vp.gcMarkIdle()
+			continue
 		case sweepRunLocal, sweepPreempt:
 			if out == sweepPreempt {
-				vp.participateGlobal()
+				vp.participateGC()
 			}
 			goto work
 		case sweepJoinDone:

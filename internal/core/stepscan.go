@@ -301,6 +301,13 @@ type rootsMachine struct {
 	phase rootsPhase
 	i, j  int
 
+	// withNursery extends the local walk over [NurseryStart, Alloc) after
+	// [1, OldTop) — the concurrent collector's STW windows run without the
+	// preceding minor/major, so the nursery is live root data there.
+	// nursery marks the walk's second span.
+	withNursery bool
+	nursery     bool
+
 	// Local-walk state.
 	scan    int
 	inObj   bool
@@ -316,8 +323,8 @@ type rootsMachine struct {
 
 // globalScanRootsStep runs the root walk through the engine's inline-step
 // path.
-func (vp *VProc) globalScanRootsStep() {
-	m := &rootsMachine{vp: vp}
+func (vp *VProc) globalScanRootsStep(withNursery bool) {
+	m := &rootsMachine{vp: vp, withNursery: withNursery}
 	m.normalize()
 	vp.proc.StepWhile(m.step)
 }
@@ -343,8 +350,12 @@ func (m *rootsMachine) step() (int64, bool) {
 			// not one per object.
 			lh := vp.Local
 			node := rt.Space.NodeOf(heap.MakeAddr(lh.Region.ID, 1))
+			walked := lh.OldTop - 1
+			if m.withNursery {
+				walked += lh.Alloc - lh.NurseryStart
+			}
 			m.phase = rootsDone
-			return rt.Machine.AccessCost(vp.Now(), vp.Core, node, (lh.OldTop-1)*8, numa.AccessCache), false
+			return rt.Machine.AccessCost(vp.Now(), vp.Core, node, walked*8, numa.AccessCache), false
 		case rootsDone:
 			return 0, true
 		}
@@ -506,7 +517,16 @@ func (m *rootsMachine) normalize() {
 				m.scan += m.objLen + 1
 				continue
 			}
-			if m.scan >= lh.OldTop {
+			limit := lh.OldTop
+			if m.nursery {
+				limit = lh.Alloc
+			}
+			if m.scan >= limit {
+				if m.withNursery && !m.nursery {
+					m.nursery = true
+					m.scan = lh.NurseryStart
+					continue
+				}
 				m.phase = rootsFinal
 				return
 			}

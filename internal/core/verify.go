@@ -115,3 +115,93 @@ func (rt *Runtime) VerifyHeap() error {
 	}
 	return nil
 }
+
+// VerifyTriColor checks the concurrent collector's tri-color invariant at
+// mark termination, after the drain and the forwarding repairs but before
+// the from-space is released: no root, local-heap slot, to-space chunk slot,
+// or forwarding target may still reference a from-space (white) object. A
+// violation is a black→white edge the write barrier or a termination rescan
+// missed — exactly the lost-object failure the insertion barrier exists to
+// prevent. Debug/test-only; costs are not modelled.
+func (rt *Runtime) VerifyTriColor() error {
+	white := func(p heap.Addr) bool {
+		if p == 0 {
+			return false
+		}
+		if rt.Space.Region(p.RegionID()).Kind != heap.RegionChunk {
+			return false
+		}
+		c := rt.Chunks.ChunkOf(p.RegionID())
+		return c != nil && c.FromSpace
+	}
+
+	// walk checks every traced slot and forwarding target in region words
+	// [lo, hi).
+	walk := func(r *heap.Region, lo, hi int, what string) error {
+		for scan := lo; scan < hi; {
+			h := r.Words[scan]
+			var n int
+			if heap.IsHeader(h) {
+				obj := heap.MakeAddr(r.ID, scan+1)
+				var werr error
+				heap.ScanObject(rt.Space, rt.Descs, obj, func(slot int, p heap.Addr) heap.Addr {
+					if werr == nil && white(p) {
+						werr = fmt.Errorf("%s object %v slot %d holds from-space pointer %v", what, obj, slot, p)
+					}
+					return p
+				})
+				if werr != nil {
+					return werr
+				}
+				n = heap.HeaderLen(h)
+			} else {
+				t := heap.ForwardTarget(h)
+				if white(t) {
+					return fmt.Errorf("%s forwarding word at r%d+%d targets from-space %v", what, r.ID, scan, t)
+				}
+				n = rt.Space.ObjectLen(t)
+			}
+			scan += n + 1
+		}
+		return nil
+	}
+
+	for _, vp := range rt.VProcs {
+		lh := vp.Local
+		if err := walk(lh.Region, 1, lh.OldTop, fmt.Sprintf("vproc %d old-area", vp.ID)); err != nil {
+			return err
+		}
+		if err := walk(lh.Region, lh.NurseryStart, lh.Alloc, fmt.Sprintf("vproc %d nursery", vp.ID)); err != nil {
+			return err
+		}
+		for i, a := range vp.roots {
+			if white(a) {
+				return fmt.Errorf("vproc %d root %d holds from-space pointer %v", vp.ID, i, a)
+			}
+		}
+		for i, pa := range vp.proxies {
+			if white(pa) {
+				return fmt.Errorf("vproc %d proxy %d is from-space (%v)", vp.ID, i, pa)
+			}
+		}
+		for i, t := range vp.resultTasks {
+			if white(t.result) {
+				return fmt.Errorf("vproc %d result %d holds from-space pointer %v", vp.ID, i, t.result)
+			}
+		}
+	}
+	for _, c := range rt.Chunks.Active() {
+		if c.FromSpace {
+			continue
+		}
+		if err := walk(c.Region, 1, c.Top, fmt.Sprintf("to-space chunk r%d", c.Region.ID)); err != nil {
+			return err
+		}
+	}
+	for i, pa := range rt.globalRoots {
+		if white(*pa) {
+			return fmt.Errorf("global root %d holds from-space pointer %v", i, *pa)
+		}
+	}
+	return nil
+}

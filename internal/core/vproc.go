@@ -79,6 +79,12 @@ type VProc struct {
 	// or while a thief is promoting out of it.
 	heapBusy bool
 
+	// assistDebt accumulates the words this vproc allocated in the global
+	// heap while a concurrent mark was in flight; the next safepoint's
+	// mark assist scans proportionally (allocation-paced assists, the
+	// GOGC discipline). Only nonzero under Config.ConcurrentGlobal.
+	assistDebt int
+
 	// rng is a per-vproc deterministic PRNG for workload use.
 	rng uint64
 
@@ -136,6 +142,10 @@ type VPStats struct {
 	LostTasks       int64 // queued + in-flight tasks lost to the crash
 	LostConts       int64 // parked continuations cancelled by the crash
 	LostTimers      int64 // pending timer deadlines cancelled by the crash
+	BarrierHits     int64 // write-barrier shades that evacuated an object (concurrent GC)
+	BarrierNs       int64 // virtual time charged to write-barrier evacuations
+	MarkAssistWords int64 // gray words scanned by this vproc's mark assists
+	MarkAssistNs    int64 // virtual time spent in mark assists
 }
 
 // Runtimer accessors.
@@ -217,6 +227,19 @@ func (vp *VProc) safepoint(needWords int) {
 			// A new signal can arrive at any time; re-check from
 			// the top.
 			continue
+		}
+		if vp.rt.global.termPending {
+			vp.participateTermination()
+			continue
+		}
+		if vp.rt.global.marking {
+			// Concurrent mark in flight: pay down the allocation-paced
+			// assist debt before allocating more. The assist can drain
+			// the mark and request termination; re-check from the top.
+			vp.gcMarkPoint()
+			if vp.rt.global.termPending {
+				continue
+			}
 		}
 		if vp.Local.CanAlloc(needWords) {
 			return

@@ -295,16 +295,31 @@ func RunLatency(rt *core.Runtime, opt LatencyOptions) LatencyResult {
 	// in full; local phases (minor/major/promotion) stall one vproc each,
 	// so their pooled overlap is normalized by the vproc count — the
 	// expected per-vproc collector activity during the request's lifetime.
-	var globals, locals []span
+	//
+	// Under the mostly-concurrent collector the full cycle (EvGlobalEnd's
+	// span) is not a stall — mutators run through the mark. Only the two
+	// bracketing STW windows (snapshot and termination) stop the world, so
+	// they form the "global" stall set instead; the cycle spans are kept
+	// solely to count distinct collections per band. In STW mode the cycle
+	// IS the stall and no window events exist, so the sets coincide and
+	// the accounting is unchanged.
+	var globals, locals, cycles []span
+	concurrent := rt.Cfg.ConcurrentGlobal
 	for _, ev := range events {
 		switch ev.Kind {
 		case core.EvGlobalEnd:
+			cycles = append(cycles, span{ev.At - ev.Ns, ev.At})
+			if !concurrent {
+				globals = append(globals, span{ev.At - ev.Ns, ev.At})
+			}
+		case core.EvSnapshot, core.EvTermination:
 			globals = append(globals, span{ev.At - ev.Ns, ev.At})
 		case core.EvMinor, core.EvMajor, core.EvPromote:
 			locals = append(locals, span{ev.At - ev.Ns, ev.At})
 		}
 	}
 	globalSet := newSpanSet(globals)
+	cycleSet := newSpanSet(cycles)
 	localSet := newSpanSet(locals)
 	nv := int64(rt.Cfg.NumVProcs)
 
@@ -319,7 +334,12 @@ func RunLatency(rt *core.Runtime, opt LatencyOptions) LatencyResult {
 			}
 			b.Count++
 			latSum += lat
-			g := globalSet.overlap(s.start, s.end, func(iv span) {
+			g := globalSet.overlap(s.start, s.end, nil)
+			// Collections are counted over the cycle spans, which in STW
+			// mode are exactly the stall spans: a request "saw" a
+			// collection if its lifetime intersects the cycle, whether or
+			// not it intersected a concurrent cycle's STW windows.
+			cycleSet.overlap(s.start, s.end, func(iv span) {
 				if !seenGlobals[iv] {
 					seenGlobals[iv] = true
 					b.GlobalGCs++
